@@ -1,0 +1,63 @@
+"""Figure 2 — evaluated join pairs (normalised to CCP) vs parallelizability.
+
+The paper's Figure 2 places every enumeration algorithm on two axes for a
+20-relation MusicBrainz query: how many join pairs it evaluates relative to
+the number of valid CCP pairs (lower is better) and how parallelizable its
+enumeration is (sequential / medium / high).  We regenerate the same placement
+on a MusicBrainz-like random-walk query; the query size is reduced so the
+pure-Python DPsub/DPsize runs finish in benchmark time — the *ratios* are the
+quantity of interest and they already separate the algorithms by orders of
+magnitude at this size.
+"""
+
+import pytest
+
+from repro.optimizers import DPCcp, DPE, DPSize, DPSub, MPDP, PDP
+from repro.workloads import musicbrainz_query
+
+N_RELATIONS = 14
+ALGORITHMS = [DPSize, PDP, DPSub, DPCcp, DPE, MPDP]
+
+
+def _collect_figure2_rows(query):
+    rows = []
+    for cls in ALGORITHMS:
+        optimizer = cls()
+        result = optimizer.optimize(query)
+        rows.append({
+            "algorithm": optimizer.name,
+            "parallelizability": optimizer.parallelizability,
+            "evaluated": result.stats.evaluated_pairs,
+            "ccp": result.stats.ccp_pairs,
+            "normalized": result.stats.normalized_evaluated_pairs(),
+        })
+    return rows
+
+
+@pytest.fixture(scope="module")
+def query():
+    return musicbrainz_query(N_RELATIONS, seed=20)
+
+
+def test_figure2_join_pair_efficiency(benchmark, query):
+    rows = benchmark.pedantic(_collect_figure2_rows, args=(query,), rounds=1, iterations=1)
+
+    print("\nFigure 2 — normalized evaluated join pairs vs parallelizability "
+          f"({N_RELATIONS}-relation MusicBrainz-like query)")
+    print(f"{'algorithm':10s} {'parallelizability':18s} {'evaluated':>12s} {'ccp':>10s} {'normalized':>11s}")
+    for row in rows:
+        print(f"{row['algorithm']:10s} {row['parallelizability']:18s} "
+              f"{row['evaluated']:>12d} {row['ccp']:>10d} {row['normalized']:>11.2f}")
+
+    by_name = {row["algorithm"]: row for row in rows}
+    # The paper's qualitative placement must hold:
+    # DPccp and MPDP are near the CCP lower bound, DPsize/DPsub are far above.
+    assert by_name["DPccp"]["normalized"] == pytest.approx(1.0)
+    assert by_name["MPDP"]["normalized"] < 2.5
+    assert by_name["DPsub"]["normalized"] > 3 * by_name["MPDP"]["normalized"]
+    assert by_name["DPsize"]["normalized"] > by_name["MPDP"]["normalized"]
+    # Parallelizability classes.
+    assert by_name["MPDP"]["parallelizability"] == "high"
+    assert by_name["DPsub"]["parallelizability"] == "high"
+    assert by_name["DPccp"]["parallelizability"] == "sequential"
+    assert by_name["DPE"]["parallelizability"] == "medium"

@@ -1,0 +1,53 @@
+"""Figure 6 — optimization times on star join graphs.
+
+The paper sweeps star queries up to 30 relations on a GPU; pure-Python exact
+DP is feasible up to the mid-teens, so the sweep here covers 6-12 relations
+and additionally reports the modelled 24-thread CPU and GPU times (which is
+what the paper plots for the parallel entries).  The shape to check: MPDP's
+curves rise far more slowly than DPsub/DPsize because it evaluates only the
+valid join pairs of the (tree) star graph, and the GPU/parallel variants win
+once queries get large while being irrelevant below ~10 relations.
+"""
+
+import pytest
+
+from repro.bench import run_time_series
+from repro.workloads import star_query
+
+from common import exact_optimizer_lineup
+
+SIZES = [6, 8, 10, 12]
+
+
+def _run_sweep():
+    return run_time_series(
+        "Figure 6 — star join graph",
+        lambda n, seed: star_query(n, seed=seed),
+        sizes=SIZES,
+        optimizers=exact_optimizer_lineup(),
+        queries_per_size=1,
+        timeout_seconds=60.0,
+    )
+
+
+def test_figure6_star_optimization_times(benchmark):
+    series = benchmark.pedantic(_run_sweep, rounds=1, iterations=1)
+    print("\n" + series.to_table(unit="ms"))
+
+    largest = SIZES[-1]
+    mpdp_cpu = series.value("MPDP (1CPU)", largest)
+    dpsub_cpu = series.value("DPsub (1CPU)", largest)
+    dpsize_cpu = series.value("Postgres (1CPU)", largest)
+    assert mpdp_cpu.seconds < dpsub_cpu.seconds
+    assert mpdp_cpu.seconds < dpsize_cpu.seconds
+
+    mpdp_gpu = series.value("MPDP (GPU)", largest)
+    dpsub_gpu = series.value("DPsub (GPU)", largest)
+    dpsize_gpu = series.value("DPsize (GPU)", largest)
+    assert mpdp_gpu.seconds < dpsub_gpu.seconds
+    assert mpdp_gpu.seconds < dpsize_gpu.seconds
+
+    # All algorithms find the same optimal plan.
+    costs = {run.algorithm: run.cost for run in series.runs if run.n_relations == largest}
+    reference = costs["MPDP (1CPU)"]
+    assert all(abs(cost - reference) < 1e-6 * reference for cost in costs.values())

@@ -1,0 +1,48 @@
+"""Figure 8 — optimization times on clique join graphs.
+
+Cliques are the adversarial case: every join pair is valid, so pruning cannot
+help and the whole 3^n DP search space must be costed.  The paper's finding is
+that here raw parallelism decides the ranking — all GPU algorithms beat all
+CPU algorithms, MPDP (GPU) and DPsub (GPU) are nearly tied (their enumerations
+coincide when the only block is the full clique, Lemma 9), and DPsize falls
+behind because of its overlapping-pair checks.
+"""
+
+import pytest
+
+from repro.bench import run_time_series
+from repro.workloads import clique_query
+
+from common import exact_optimizer_lineup
+
+SIZES = [5, 7, 9]
+
+
+def _run_sweep():
+    return run_time_series(
+        "Figure 8 — clique join graph",
+        lambda n, seed: clique_query(n, seed=seed),
+        sizes=SIZES,
+        optimizers=exact_optimizer_lineup(),
+        queries_per_size=1,
+        timeout_seconds=60.0,
+    )
+
+
+def test_figure8_clique_optimization_times(benchmark):
+    series = benchmark.pedantic(_run_sweep, rounds=1, iterations=1)
+    print("\n" + series.to_table(unit="ms"))
+
+    largest = SIZES[-1]
+    mpdp_gpu = series.value("MPDP (GPU)", largest).seconds
+    dpsub_gpu = series.value("DPsub (GPU)", largest).seconds
+    dpsize_gpu = series.value("DPsize (GPU)", largest).seconds
+
+    # MPDP and DPsub evaluate the same pairs on cliques; MPDP must not be
+    # meaningfully slower, and DPsize (GPU) trails both.
+    assert mpdp_gpu <= dpsub_gpu * 1.25
+    assert dpsize_gpu > mpdp_gpu
+
+    # GPU variants beat their own single-CPU counterparts at the largest size.
+    assert mpdp_gpu < series.value("MPDP (1CPU)", largest).seconds
+    assert dpsub_gpu < series.value("DPsub (1CPU)", largest).seconds

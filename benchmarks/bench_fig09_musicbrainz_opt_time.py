@@ -1,0 +1,46 @@
+"""Figure 9 — optimization times on MusicBrainz-like random-walk queries.
+
+The real-world workload: PK-FK random walks over the 56-table MusicBrainz-like
+schema, which produce mostly tree-shaped join graphs with occasional cycles.
+The expected ordering at the largest size mirrors the paper: MPDP (GPU) and
+MPDP (24CPU) in front, then DPsub (GPU), with the sequential CPU baselines far
+behind.
+"""
+
+import pytest
+
+from repro.bench import run_time_series
+from repro.workloads import musicbrainz_query
+
+from common import exact_optimizer_lineup
+
+SIZES = [6, 9, 12, 13]
+
+
+def _run_sweep():
+    return run_time_series(
+        "Figure 9 — MusicBrainz-like queries",
+        lambda n, seed: musicbrainz_query(n, seed=seed),
+        sizes=SIZES,
+        optimizers=exact_optimizer_lineup(),
+        queries_per_size=1,
+        timeout_seconds=60.0,
+    )
+
+
+def test_figure9_musicbrainz_optimization_times(benchmark):
+    series = benchmark.pedantic(_run_sweep, rounds=1, iterations=1)
+    print("\n" + series.to_table(unit="ms"))
+
+    largest = SIZES[-1]
+    mpdp_gpu = series.value("MPDP (GPU)", largest).seconds
+    assert mpdp_gpu < series.value("DPsub (GPU)", largest).seconds
+    assert mpdp_gpu < series.value("DPsub (1CPU)", largest).seconds
+    assert mpdp_gpu < series.value("Postgres (1CPU)", largest).seconds
+    assert series.value("MPDP (24CPU)", largest).seconds < series.value("DPE (24CPU)", largest).seconds
+
+    # All algorithms agree on plan cost.
+    costs = {run.algorithm: run.cost for run in series.runs
+             if run.n_relations == largest and run.cost is not None}
+    reference = costs["MPDP (1CPU)"]
+    assert all(abs(cost - reference) < 1e-6 * reference for cost in costs.values())

@@ -1,0 +1,59 @@
+"""Figure 10 — ratio of execution time to optimization time.
+
+The paper's point: with PostgreSQL's exhaustive optimizer the optimization
+time becomes a dominant fraction of total query processing for large joins
+(the ratio execution/optimization collapses towards and below 1), while with
+MPDP (GPU) the ratio stays large because optimization remains cheap.  Both
+PK-FK and non-PK-FK join workloads are reported.
+
+Execution times come from the cost-based runtime model (the data itself is not
+reproduced); optimization times are measured wall-clock for the PostgreSQL
+baseline (DPsize) and simulated GPU time for MPDP.
+"""
+
+import pytest
+
+from repro.execution import CostBasedRuntimeModel
+from repro.gpu import MPDPGpu
+from repro.optimizers import DPSize
+from repro.workloads import musicbrainz_query
+
+SIZES = [6, 9, 12, 14]
+RUNTIME_MODEL = CostBasedRuntimeModel()
+
+
+def _ratio_series(non_pk_fk_fraction: float):
+    rows = []
+    for n in SIZES:
+        query = musicbrainz_query(n, seed=10, non_pk_fk_fraction=non_pk_fk_fraction)
+        postgres = DPSize().optimize(query)
+        mpdp_gpu = MPDPGpu().optimize(query)
+        execution_seconds = RUNTIME_MODEL.runtime_seconds(postgres.plan)
+        rows.append({
+            "relations": n,
+            "execution_seconds": execution_seconds,
+            "postgres_ratio": execution_seconds / max(postgres.stats.wall_time_seconds, 1e-9),
+            "mpdp_gpu_ratio": execution_seconds / mpdp_gpu.stats.extra["gpu_total_seconds"],
+        })
+    return rows
+
+
+@pytest.mark.parametrize("label,non_pk_fk_fraction", [
+    ("PK-FK joins", 0.0),
+    ("non-PK-FK joins", 0.6),
+])
+def test_figure10_execution_vs_optimization(benchmark, label, non_pk_fk_fraction):
+    rows = benchmark.pedantic(_ratio_series, args=(non_pk_fk_fraction,), rounds=1, iterations=1)
+
+    print(f"\nFigure 10 — execution/optimization time ratio ({label})")
+    print(f"{'rels':>4s} {'exec (s)':>12s} {'Postgres ratio':>15s} {'MPDP(GPU) ratio':>16s}")
+    for row in rows:
+        print(f"{row['relations']:>4d} {row['execution_seconds']:>12.3f} "
+              f"{row['postgres_ratio']:>15.2f} {row['mpdp_gpu_ratio']:>16.2f}")
+
+    # MPDP's ratio stays above the PostgreSQL baseline's at every size, and
+    # the gap widens as queries grow (optimization dominates for DPsize).
+    for row in rows:
+        assert row["mpdp_gpu_ratio"] > row["postgres_ratio"]
+    gaps = [row["mpdp_gpu_ratio"] / row["postgres_ratio"] for row in rows]
+    assert gaps[-1] > gaps[0]

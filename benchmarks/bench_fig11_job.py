@@ -1,0 +1,41 @@
+"""Figure 11 — optimization times on JOB-like queries (4-17 relations).
+
+JOB's join graphs are comparatively benign (mostly tree-shaped, at most 17
+relations), so the differences between algorithms are smaller than on the
+synthetic sweeps; MPDP pulls ahead of DPsub from roughly a dozen relations.
+"""
+
+import pytest
+
+from repro.bench import run_time_series
+from repro.workloads import job_query
+
+from common import exact_optimizer_lineup
+
+SIZES = [4, 6, 8, 10, 12]
+
+
+def _run_sweep():
+    return run_time_series(
+        "Figure 11 — JOB-like queries",
+        lambda n, seed: job_query(n, seed=seed),
+        sizes=SIZES,
+        optimizers=exact_optimizer_lineup(),
+        queries_per_size=1,
+        timeout_seconds=60.0,
+    )
+
+
+def test_figure11_job_optimization_times(benchmark):
+    series = benchmark.pedantic(_run_sweep, rounds=1, iterations=1)
+    print("\n" + series.to_table(unit="ms"))
+
+    largest = SIZES[-1]
+    mpdp_gpu = series.value("MPDP (GPU)", largest).seconds
+    dpsub_gpu = series.value("DPsub (GPU)", largest).seconds
+    assert mpdp_gpu < dpsub_gpu
+    # The gap between MPDP and DPsub grows with the number of relations.
+    small = SIZES[1]
+    gap_small = series.value("DPsub (GPU)", small).seconds / series.value("MPDP (GPU)", small).seconds
+    gap_large = dpsub_gpu / mpdp_gpu
+    assert gap_large >= gap_small

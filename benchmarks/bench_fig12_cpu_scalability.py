@@ -1,0 +1,53 @@
+"""Figure 12 — CPU scalability of MPDP vs DPE on a MusicBrainz query.
+
+The paper varies the thread count from 1 to 24 on a 20-relation MusicBrainz
+query and plots speedup over the single-thread run of the same algorithm:
+MPDP scales to low double digits (sub-linearly beyond ~6 threads, due to cache
+pressure), while DPE saturates early because its enumeration is a sequential
+producer.  We reproduce the curves from the recorded work counters through the
+parallel CPU model on a 16-relation MusicBrainz-like query.
+"""
+
+import pytest
+
+from repro.optimizers import DPE, MPDP
+from repro.parallel import ParallelCPUModel, speedup_curve
+from repro.workloads import musicbrainz_query
+
+N_RELATIONS = 16
+THREADS = [1, 2, 4, 6, 8, 12, 16, 20, 24]
+
+
+def _speedup_curves():
+    query = musicbrainz_query(N_RELATIONS, seed=12)
+    model = ParallelCPUModel()
+    mpdp_stats = MPDP().optimize(query).stats
+    dpe_stats = DPE().optimize(query).stats
+    return {
+        "MPDP (CPU)": speedup_curve(model, mpdp_stats, "MPDP", THREADS),
+        "DPE (CPU)": speedup_curve(model, dpe_stats, "DPE", THREADS),
+    }
+
+
+def test_figure12_cpu_scalability(benchmark):
+    curves = benchmark.pedantic(_speedup_curves, rounds=1, iterations=1)
+
+    print(f"\nFigure 12 — speedup over one thread ({N_RELATIONS}-relation MusicBrainz-like query)")
+    print(f"{'threads':>8s} {'MPDP (CPU)':>12s} {'DPE (CPU)':>12s}")
+    for threads in THREADS:
+        print(f"{threads:>8d} {curves['MPDP (CPU)'][threads]:>12.2f} "
+              f"{curves['DPE (CPU)'][threads]:>12.2f}")
+
+    mpdp = curves["MPDP (CPU)"]
+    dpe = curves["DPE (CPU)"]
+    # MPDP scales much better than DPE at every thread count above 1.
+    for threads in THREADS[1:]:
+        assert mpdp[threads] > dpe[threads]
+    # MPDP reaches a substantial speedup at 24 threads but stays sub-linear.
+    assert 4.0 < mpdp[24] < 24.0
+    # DPE saturates: going from 12 to 24 threads gains almost nothing.
+    assert dpe[24] - dpe[12] < 0.5
+    # Monotone non-decreasing curves.
+    for curve in (mpdp, dpe):
+        values = [curve[t] for t in THREADS]
+        assert all(b >= a - 1e-9 for a, b in zip(values, values[1:]))

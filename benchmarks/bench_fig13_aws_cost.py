@@ -1,0 +1,74 @@
+"""Figure 13 — monetary cost of optimization on AWS.
+
+Each algorithm is priced on the cheapest suitable instance type (single-thread
+CPU baselines on c5.large, parallel CPU algorithms on c5.xlarge with 4 vCPUs,
+GPU algorithms on g4dn.xlarge with a T4) and charged its optimization time at
+the instance's per-second price.  The paper's shape: the plain CPU algorithms
+are cheapest for small queries, but beyond ~15 relations MPDP (GPU) becomes
+the cheapest way to optimize a query even though its instance is the most
+expensive per hour.
+"""
+
+import pytest
+
+from repro.bench import instance_for_algorithm, optimization_cost_cents
+from repro.gpu import DPSubGpu, MPDPGpu, TESLA_T4
+from repro.optimizers import DPCcp, DPE, DPSize, MPDP
+from repro.parallel import ParallelCPUModel
+from repro.workloads import star_query
+
+SIZES = [6, 8, 10, 12]
+_PARALLEL = ParallelCPUModel()
+
+
+def _cost_rows():
+    rows = []
+    for n in SIZES:
+        query = star_query(n, seed=13)
+        entry = {"relations": n}
+
+        postgres = DPSize().optimize(query)
+        entry["Postgres (1CPU)"] = optimization_cost_cents(
+            postgres.stats.wall_time_seconds, instance_for_algorithm("Postgres (1CPU)"))
+
+        dpccp = DPCcp().optimize(query)
+        entry["DPccp (1CPU)"] = optimization_cost_cents(
+            dpccp.stats.wall_time_seconds, instance_for_algorithm("DPccp (1CPU)"))
+
+        dpe = DPE().optimize(query)
+        entry["DPE (4CPU)"] = optimization_cost_cents(
+            _PARALLEL.simulate(dpe.stats, 4, "DPE"), instance_for_algorithm("DPE (4CPU)"))
+
+        mpdp = MPDP().optimize(query)
+        entry["MPDP (4CPU)"] = optimization_cost_cents(
+            _PARALLEL.simulate(mpdp.stats, 4, "MPDP"), instance_for_algorithm("MPDP (4CPU)"))
+
+        dpsub_gpu = DPSubGpu(device=TESLA_T4).optimize(query)
+        entry["DPsub (GPU)"] = optimization_cost_cents(
+            dpsub_gpu.stats.extra["gpu_total_seconds"], instance_for_algorithm("DPsub (GPU)"))
+
+        mpdp_gpu = MPDPGpu(device=TESLA_T4).optimize(query)
+        entry["MPDP (GPU)"] = optimization_cost_cents(
+            mpdp_gpu.stats.extra["gpu_total_seconds"], instance_for_algorithm("MPDP (GPU)"))
+
+        rows.append(entry)
+    return rows
+
+
+def test_figure13_aws_optimization_cost(benchmark):
+    rows = benchmark.pedantic(_cost_rows, rounds=1, iterations=1)
+
+    algorithms = [key for key in rows[0] if key != "relations"]
+    print("\nFigure 13 — optimization cost on AWS (US cents per query)")
+    print(f"{'rels':>4s} " + " ".join(f"{name:>16s}" for name in algorithms))
+    for row in rows:
+        print(f"{row['relations']:>4d} " + " ".join(f"{row[name]:>16.7f}" for name in algorithms))
+
+    # MPDP (GPU) is cheaper than DPsub (GPU) everywhere, and cheaper than the
+    # modelled parallel-CPU DPE at the largest size.
+    for row in rows:
+        assert row["MPDP (GPU)"] <= row["DPsub (GPU)"]
+    assert rows[-1]["MPDP (GPU)"] < rows[-1]["DPE (4CPU)"]
+    # For the smallest queries the plain CPU algorithms remain the cheapest,
+    # matching the paper's observation that GPUs do not pay off below ~10 rels.
+    assert min(rows[0]["Postgres (1CPU)"], rows[0]["DPccp (1CPU)"]) < rows[0]["MPDP (GPU)"]

@@ -1,0 +1,13 @@
+"""Pytest bootstrap: make ``src/repro`` importable without installation.
+
+The benchmark and test suites should run even when the package has not been
+pip-installed (the offline environment makes editable installs awkward), so
+the source tree is added to ``sys.path`` here.
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(__file__), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

@@ -1,0 +1,64 @@
+"""GPU-simulated vs CPU optimization times on MusicBrainz-like queries.
+
+Run with::
+
+    python examples/gpu_vs_cpu_simulation.py
+
+Sweeps MusicBrainz-like random-walk queries of growing size, comparing:
+
+* the measured single-thread wall time of MPDP and DPsub,
+* the modelled 24-thread CPU time of MPDP and DPE (Figure 12's machinery), and
+* the simulated GPU time of MPDP (GPU) and DPsub (GPU) with the per-phase
+  breakdown of the unrank/filter/evaluate/prune/scatter pipeline (Section 5).
+
+Also prints the effect of the two GPU enhancements (kernel fusion and
+Collaborative Context Collection) on the largest query, reproducing the
+Section 7.2.5 ablation at example scale.
+"""
+
+from repro.gpu import DPSubGpu, GPUSimulatedOptimizer, MPDPGpu
+from repro.optimizers import DPE, DPSub, MPDP
+from repro.parallel import ParallelCPUModel
+from repro.workloads import musicbrainz_query
+
+SIZES = [8, 10, 12, 14]
+
+
+def main() -> None:
+    parallel_model = ParallelCPUModel()
+
+    print(f"{'rels':>4s} {'MPDP 1CPU':>11s} {'DPsub 1CPU':>11s} {'MPDP 24CPU*':>12s} "
+          f"{'DPE 24CPU*':>11s} {'MPDP GPU*':>11s} {'DPsub GPU*':>11s}   (* = modelled)")
+    last_query = None
+    for n in SIZES:
+        query = musicbrainz_query(n, seed=3)
+        last_query = query
+        mpdp = MPDP().optimize(query)
+        dpsub = DPSub().optimize(query)
+        dpe = DPE().optimize(query)
+        mpdp_gpu = MPDPGpu().optimize(query)
+        dpsub_gpu = DPSubGpu().optimize(query)
+        print(f"{n:>4d} "
+              f"{mpdp.stats.wall_time_seconds * 1e3:>9.1f}ms "
+              f"{dpsub.stats.wall_time_seconds * 1e3:>9.1f}ms "
+              f"{parallel_model.simulate(mpdp.stats, 24, 'MPDP') * 1e3:>10.2f}ms "
+              f"{parallel_model.simulate(dpe.stats, 24, 'DPE') * 1e3:>9.2f}ms "
+              f"{mpdp_gpu.stats.extra['gpu_total_seconds'] * 1e3:>9.2f}ms "
+              f"{dpsub_gpu.stats.extra['gpu_total_seconds'] * 1e3:>9.2f}ms")
+
+    print("\nGPU pipeline breakdown for MPDP (GPU) on the largest query:")
+    result = MPDPGpu().optimize(last_query)
+    for phase in ("unrank", "filter", "evaluate", "prune", "scatter", "transfer"):
+        seconds = result.stats.extra[f"gpu_{phase}_seconds"]
+        print(f"  {phase:9s} {seconds * 1e3:8.3f} ms")
+
+    print("\nSection 7.2.5 ablation (MPDP on the largest query):")
+    for fusion, ccc in [(True, True), (False, True), (True, False), (False, False)]:
+        wrapper = GPUSimulatedOptimizer(MPDP(), kernel_fusion=fusion,
+                                        collaborative_context_collection=ccc)
+        seconds = wrapper.optimize(last_query).stats.extra["gpu_total_seconds"]
+        print(f"  kernel fusion={str(fusion):5s} CCC={str(ccc):5s} -> {seconds * 1e3:8.3f} ms")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,44 @@
+"""Quickstart: optimize a star join query with MPDP.
+
+Run with::
+
+    python examples/quickstart.py
+
+Builds a 10-relation star query (one fact table, nine dimensions), runs the
+paper's MPDP algorithm and one baseline (DPsub), prints the chosen plan and
+shows the instrumentation the paper's figures are built from: how many join
+pairs each algorithm evaluated versus how many were valid CCP pairs.
+"""
+
+from repro import DPSub, MPDP, workloads
+
+
+def main() -> None:
+    query = workloads.star_query(10, seed=42)
+    print(f"Query: {query.name} with {query.n_relations} relations "
+          f"and {query.graph.n_edges} join predicates\n")
+
+    mpdp_result = MPDP().optimize(query)
+    dpsub_result = DPSub().optimize(query)
+
+    print("Optimal plan found by MPDP:")
+    print(mpdp_result.plan.to_string(query.graph.relation_names))
+    print(f"\nplan cost: {mpdp_result.cost:,.1f}")
+    print(f"both algorithms agree: "
+          f"{abs(mpdp_result.cost - dpsub_result.cost) < 1e-6 * mpdp_result.cost}\n")
+
+    print("Enumeration efficiency (the paper's EvaluatedCounter vs CCP-Counter):")
+    for result in (mpdp_result, dpsub_result):
+        stats = result.stats
+        print(f"  {stats.algorithm:6s} evaluated {stats.evaluated_pairs:7d} pairs, "
+              f"{stats.ccp_pairs:6d} valid "
+              f"({stats.normalized_evaluated_pairs():6.1f}x the lower bound), "
+              f"wall time {stats.wall_time_seconds * 1e3:7.2f} ms")
+
+    print("\nOn tree-shaped queries (stars, snowflakes) MPDP evaluates only valid")
+    print("pairs — that is Theorem 3 of the paper, and the reason it can be")
+    print("parallelized so effectively on GPUs.")
+
+
+if __name__ == "__main__":
+    main()

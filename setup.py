@@ -1,0 +1,27 @@
+"""Legacy setup shim.
+
+The offline environment this repository targets has no network access, so
+``pip``'s isolated PEP 517 builds (which try to download ``setuptools`` and
+``wheel``) cannot run.  This ``setup.py`` lets the classic editable install
+work instead::
+
+    pip install -e . --no-build-isolation --no-use-pep517
+
+Project metadata lives in ``pyproject.toml``; this file only mirrors what the
+legacy code path needs.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'Efficient Massively Parallel Join Optimization for "
+        "Large Queries' (MPDP, SIGMOD 2022)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy", "networkx"],
+)

@@ -1,0 +1,100 @@
+"""repro — reproduction of "Efficient Massively Parallel Join Optimization
+for Large Queries" (MPDP, SIGMOD 2022).
+
+The package implements the paper's contribution (MPDP and the UnionDP /
+IDP2-MPDP heuristics), every baseline it is compared against (DPsize, DPsub,
+DPccp, PDP, DPE, GOO, IKKBZ, LinDP, GEQO, IDP), and the substrates the
+evaluation needs: a catalog, a PostgreSQL-like cost model, cardinality
+estimation, synthetic and MusicBrainz/JOB-like workloads, a GPU execution
+simulator and a multi-core parallel-time simulator.
+
+Quickstart::
+
+    from repro import workloads, MPDP
+
+    query = workloads.star_query(10, seed=1)
+    result = MPDP().optimize(query)
+    print(result.plan.to_string(query.graph.relation_names))
+"""
+
+from .core import (
+    JoinEdge,
+    JoinGraph,
+    JoinMethod,
+    MemoTable,
+    OptimizerStats,
+    Plan,
+    QueryInfo,
+    UnionFind,
+)
+from .cost import CardinalityEstimator, CostModel, CoutCostModel, PostgresCostModel
+from .optimizers import (
+    DPE,
+    DPCcp,
+    DPSize,
+    DPSub,
+    EXACT_OPTIMIZERS,
+    JoinOrderOptimizer,
+    MPDP,
+    MPDPTree,
+    OptimizationError,
+    PDP,
+    PlanResult,
+)
+from .heuristics import (
+    GEQO,
+    GOO,
+    HEURISTIC_OPTIMIZERS,
+    IDP1,
+    IDP2,
+    IKKBZ,
+    AdaptiveLinDP,
+    LinearizedDP,
+    UnionDP,
+)
+from . import analysis, bench, execution, gpu, parallel, sql, workloads
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "JoinEdge",
+    "JoinGraph",
+    "JoinMethod",
+    "MemoTable",
+    "OptimizerStats",
+    "Plan",
+    "QueryInfo",
+    "UnionFind",
+    "CardinalityEstimator",
+    "CostModel",
+    "CoutCostModel",
+    "PostgresCostModel",
+    "JoinOrderOptimizer",
+    "OptimizationError",
+    "PlanResult",
+    "DPSize",
+    "DPSub",
+    "DPCcp",
+    "PDP",
+    "DPE",
+    "MPDP",
+    "MPDPTree",
+    "EXACT_OPTIMIZERS",
+    "GOO",
+    "IKKBZ",
+    "GEQO",
+    "IDP1",
+    "IDP2",
+    "LinearizedDP",
+    "AdaptiveLinDP",
+    "UnionDP",
+    "HEURISTIC_OPTIMIZERS",
+    "workloads",
+    "analysis",
+    "bench",
+    "execution",
+    "gpu",
+    "parallel",
+    "sql",
+    "__version__",
+]

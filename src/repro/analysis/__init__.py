@@ -1,0 +1,23 @@
+"""Analytic counter formulas for standard join-graph topologies."""
+
+from .formulas import (
+    chain_ccp_pairs,
+    clique_ccp_pairs,
+    clique_connected_subsets,
+    clique_dpsub_evaluated_pairs,
+    star_ccp_pairs,
+    star_connected_subsets,
+    star_dpsub_evaluated_pairs,
+    star_mpdp_evaluated_pairs,
+)
+
+__all__ = [
+    "star_ccp_pairs",
+    "star_connected_subsets",
+    "star_dpsub_evaluated_pairs",
+    "star_mpdp_evaluated_pairs",
+    "chain_ccp_pairs",
+    "clique_ccp_pairs",
+    "clique_connected_subsets",
+    "clique_dpsub_evaluated_pairs",
+]

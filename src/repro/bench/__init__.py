@@ -1,0 +1,28 @@
+"""Benchmark harness: sweeps, paper-style tables and AWS pricing."""
+
+from .harness import (
+    RelativeCostTable,
+    SeriesResult,
+    TimedRun,
+    percentile,
+    run_relative_cost_table,
+    run_time_series,
+    simulated_gpu_seconds,
+    wall_time_seconds,
+)
+from .pricing import AWS_INSTANCES, InstanceType, instance_for_algorithm, optimization_cost_cents
+
+__all__ = [
+    "RelativeCostTable",
+    "SeriesResult",
+    "TimedRun",
+    "percentile",
+    "run_relative_cost_table",
+    "run_time_series",
+    "wall_time_seconds",
+    "simulated_gpu_seconds",
+    "AWS_INSTANCES",
+    "InstanceType",
+    "instance_for_algorithm",
+    "optimization_cost_cents",
+]

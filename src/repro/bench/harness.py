@@ -1,0 +1,254 @@
+"""Benchmark harness: run optimizer sweeps and print paper-style tables.
+
+Every figure and table of the paper's evaluation is a sweep of one or more
+optimizers over one or more workloads, reported either as an optimization-time
+series (Figures 6-9, 11, 13), a counter series (Figures 2 and 4), a speedup
+curve (Figure 12) or a relative-plan-cost table (Tables 1-2).  This module
+provides the shared machinery:
+
+* :class:`SeriesResult` / :class:`RelativeCostTable` — result containers that
+  know how to render themselves in the same row/column layout as the paper;
+* :func:`run_time_series` — time one optimizer per query size with a time
+  budget (algorithms that exceed the budget are reported as timed out for all
+  larger sizes, mirroring the paper's 1-minute / 60-second timeouts);
+* :func:`run_relative_cost_table` — run several heuristics over a batch of
+  queries and report average and 95th-percentile plan cost relative to the
+  best plan found for each query, exactly how Tables 1 and 2 are built.
+"""
+
+from __future__ import annotations
+
+import math
+import statistics
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..core.query import QueryInfo
+from ..optimizers.base import PlanResult
+
+__all__ = [
+    "TimedRun",
+    "SeriesResult",
+    "RelativeCostTable",
+    "run_time_series",
+    "run_relative_cost_table",
+    "percentile",
+]
+
+#: An optimizer entry for the harness: (display name, callable producing a
+#: fresh optimizer, callable extracting the reported seconds from a result).
+OptimizerEntry = Tuple[str, Callable[[], object], Callable[[PlanResult], float]]
+
+
+def wall_time_seconds(result: PlanResult) -> float:
+    """Default time extractor: single-threaded wall-clock time."""
+    return result.stats.wall_time_seconds
+
+
+def simulated_gpu_seconds(result: PlanResult) -> float:
+    """Time extractor for GPU-simulated optimizers."""
+    return result.stats.extra["gpu_total_seconds"]
+
+
+@dataclass
+class TimedRun:
+    """One (algorithm, query-size) measurement."""
+
+    algorithm: str
+    n_relations: int
+    seconds: Optional[float]
+    cost: Optional[float] = None
+    timed_out: bool = False
+
+
+@dataclass
+class SeriesResult:
+    """An optimization-time series: one row per query size, one column per algorithm."""
+
+    title: str
+    runs: List[TimedRun] = field(default_factory=list)
+
+    def add(self, run: TimedRun) -> None:
+        self.runs.append(run)
+
+    def algorithms(self) -> List[str]:
+        seen: List[str] = []
+        for run in self.runs:
+            if run.algorithm not in seen:
+                seen.append(run.algorithm)
+        return seen
+
+    def sizes(self) -> List[int]:
+        return sorted({run.n_relations for run in self.runs})
+
+    def value(self, algorithm: str, n_relations: int) -> Optional[TimedRun]:
+        for run in self.runs:
+            if run.algorithm == algorithm and run.n_relations == n_relations:
+                return run
+        return None
+
+    def to_table(self, unit: str = "ms") -> str:
+        """Render the series as an aligned text table (sizes x algorithms)."""
+        scale = {"s": 1.0, "ms": 1e3, "us": 1e6}[unit]
+        algorithms = self.algorithms()
+        header = ["rels"] + algorithms
+        rows: List[List[str]] = []
+        for size in self.sizes():
+            row = [str(size)]
+            for algorithm in algorithms:
+                run = self.value(algorithm, size)
+                if run is None:
+                    row.append("-")
+                elif run.timed_out:
+                    row.append("timeout")
+                else:
+                    row.append(f"{run.seconds * scale:.3f}")
+            rows.append(row)
+        return _render_table(self.title + f" (optimization time, {unit})", header, rows)
+
+
+@dataclass
+class RelativeCostTable:
+    """A Table 1/2 style relative-cost comparison."""
+
+    title: str
+    #: algorithm -> size -> list of per-query relative costs.
+    cells: Dict[str, Dict[int, List[float]]] = field(default_factory=dict)
+
+    def add(self, algorithm: str, n_relations: int, relative_cost: float) -> None:
+        self.cells.setdefault(algorithm, {}).setdefault(n_relations, []).append(relative_cost)
+
+    def algorithms(self) -> List[str]:
+        return list(self.cells.keys())
+
+    def sizes(self) -> List[int]:
+        sizes = set()
+        for per_size in self.cells.values():
+            sizes.update(per_size)
+        return sorted(sizes)
+
+    def average(self, algorithm: str, n_relations: int) -> Optional[float]:
+        values = self.cells.get(algorithm, {}).get(n_relations)
+        return statistics.fmean(values) if values else None
+
+    def percentile95(self, algorithm: str, n_relations: int) -> Optional[float]:
+        values = self.cells.get(algorithm, {}).get(n_relations)
+        return percentile(values, 95.0) if values else None
+
+    def to_table(self) -> str:
+        header = ["technique / #tables"]
+        for size in self.sizes():
+            header += [f"{size} avg", f"{size} 95%"]
+        rows: List[List[str]] = []
+        for algorithm in self.algorithms():
+            row = [algorithm]
+            for size in self.sizes():
+                average = self.average(algorithm, size)
+                p95 = self.percentile95(algorithm, size)
+                row.append(f"{average:.2f}" if average is not None else "-")
+                row.append(f"{p95:.2f}" if p95 is not None else "-")
+            rows.append(row)
+        return _render_table(self.title + " (plan cost relative to best)", header, rows)
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile with linear interpolation (0 <= q <= 100)."""
+    if not values:
+        raise ValueError("cannot take a percentile of no values")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (q / 100.0) * (len(ordered) - 1)
+    low = math.floor(rank)
+    high = math.ceil(rank)
+    if low == high:
+        return ordered[low]
+    fraction = rank - low
+    return ordered[low] * (1 - fraction) + ordered[high] * fraction
+
+
+def run_time_series(
+    title: str,
+    query_factory: Callable[[int, int], QueryInfo],
+    sizes: Sequence[int],
+    optimizers: Sequence[OptimizerEntry],
+    queries_per_size: int = 1,
+    timeout_seconds: Optional[float] = 60.0,
+) -> SeriesResult:
+    """Measure optimization time per query size for several algorithms.
+
+    ``query_factory(n_relations, seed)`` must return a fresh query.  Once an
+    algorithm exceeds ``timeout_seconds`` (either measured or simulated) it is
+    marked timed out and skipped for every larger size — the same protocol the
+    paper uses with its one-minute budget.
+    """
+    series = SeriesResult(title=title)
+    timed_out: Dict[str, bool] = {name: False for name, _, _ in optimizers}
+    for size in sizes:
+        queries = [query_factory(size, seed) for seed in range(queries_per_size)]
+        for name, factory, extract_seconds in optimizers:
+            if timed_out[name]:
+                series.add(TimedRun(name, size, None, timed_out=True))
+                continue
+            seconds: List[float] = []
+            costs: List[float] = []
+            exceeded = False
+            for query in queries:
+                optimizer = factory()
+                start = time.perf_counter()
+                result = optimizer.optimize(query)
+                elapsed = time.perf_counter() - start
+                reported = extract_seconds(result)
+                if reported is None:
+                    reported = elapsed
+                seconds.append(reported)
+                costs.append(result.cost)
+                if timeout_seconds is not None and reported > timeout_seconds:
+                    exceeded = True
+            series.add(TimedRun(name, size, statistics.fmean(seconds),
+                                cost=statistics.fmean(costs)))
+            if exceeded:
+                timed_out[name] = True
+    return series
+
+
+def run_relative_cost_table(
+    title: str,
+    query_factory: Callable[[int, int], QueryInfo],
+    sizes: Sequence[int],
+    optimizers: Sequence[Tuple[str, Callable[[], object]]],
+    queries_per_size: int = 5,
+) -> RelativeCostTable:
+    """Build a Table 1/2 style relative-cost comparison.
+
+    For every query the best plan found by *any* of the given algorithms
+    defines cost 1.0, and each algorithm is charged its plan cost relative to
+    that, averaged over ``queries_per_size`` queries per size.
+    """
+    table = RelativeCostTable(title=title)
+    for size in sizes:
+        for seed in range(queries_per_size):
+            query = query_factory(size, seed)
+            costs: Dict[str, float] = {}
+            for name, factory in optimizers:
+                optimizer = factory()
+                result = optimizer.optimize(query)
+                costs[name] = result.cost
+            best = min(costs.values())
+            for name, cost in costs.items():
+                table.add(name, size, cost / best)
+    return table
+
+
+def _render_table(title: str, header: List[str], rows: List[List[str]]) -> str:
+    widths = [len(column) for column in header]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = [title]
+    lines.append("  ".join(column.ljust(widths[index]) for index, column in enumerate(header)))
+    lines.append("  ".join("-" * widths[index] for index in range(len(header))))
+    for row in rows:
+        lines.append("  ".join(cell.ljust(widths[index]) for index, cell in enumerate(row)))
+    return "\n".join(lines)

@@ -1,0 +1,55 @@
+"""AWS instance pricing used by the optimization-cost experiment (Figure 13).
+
+The paper prices each algorithm on the cheapest AWS instance type that suits
+it: single-threaded CPU algorithms on ``c5.large``, parallel CPU algorithms on
+``c5.xlarge`` and GPU algorithms on ``g4dn.xlarge``.  The cost of optimizing a
+query is simply ``optimization_time * price_per_second``, reported in US
+cents.  Prices are the on-demand us-east-1 prices at the time of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+__all__ = ["InstanceType", "AWS_INSTANCES", "optimization_cost_cents", "instance_for_algorithm"]
+
+
+@dataclass(frozen=True)
+class InstanceType:
+    """An AWS instance type with its hourly on-demand price."""
+
+    name: str
+    vcpus: int
+    memory_gib: float
+    price_per_hour_usd: float
+    has_gpu: bool = False
+
+    @property
+    def price_per_second_usd(self) -> float:
+        return self.price_per_hour_usd / 3600.0
+
+
+AWS_INSTANCES: Dict[str, InstanceType] = {
+    "c5.large": InstanceType("c5.large", vcpus=2, memory_gib=4.0, price_per_hour_usd=0.085),
+    "c5.xlarge": InstanceType("c5.xlarge", vcpus=4, memory_gib=8.0, price_per_hour_usd=0.17),
+    "g4dn.xlarge": InstanceType("g4dn.xlarge", vcpus=4, memory_gib=16.0,
+                                price_per_hour_usd=0.526, has_gpu=True),
+}
+
+
+def instance_for_algorithm(algorithm: str) -> InstanceType:
+    """Instance type the Figure 13 experiment assigns to each algorithm."""
+    name = algorithm.lower()
+    if "gpu" in name:
+        return AWS_INSTANCES["g4dn.xlarge"]
+    if any(tag in name for tag in ("24cpu", "4cpu", "dpe", "pdp", "(cpu")):
+        return AWS_INSTANCES["c5.xlarge"]
+    return AWS_INSTANCES["c5.large"]
+
+
+def optimization_cost_cents(optimization_seconds: float, instance: InstanceType) -> float:
+    """Monetary cost (US cents) of one optimization run on the given instance."""
+    if optimization_seconds < 0:
+        raise ValueError("optimization time cannot be negative")
+    return optimization_seconds * instance.price_per_second_usd * 100.0

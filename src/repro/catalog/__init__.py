@@ -1,0 +1,11 @@
+"""In-memory catalog: tables, columns and statistics.
+
+This package replaces the PostgreSQL system catalog the paper's implementation
+reads its statistics from.  It stores, per table, the row count and per-column
+distinct-value counts that the cardinality estimator needs, plus primary-key /
+foreign-key metadata used by the workload generators.
+"""
+
+from .schema import Column, Table, Catalog, ForeignKey
+
+__all__ = ["Column", "Table", "Catalog", "ForeignKey"]

@@ -1,0 +1,45 @@
+"""Core substrates: bitmap sets, join graphs, plans, memo tables, query info.
+
+These are the data structures shared by every enumeration algorithm, heuristic
+and simulator in the repository.
+"""
+
+from . import bitmapset
+from .joingraph import JoinEdge, JoinGraph
+from .connectivity import (
+    connected_components,
+    count_ccp_pairs,
+    grow,
+    is_connected,
+    iter_connected_subsets_of_size,
+)
+from .blocks import BlockDecomposition, block_cut_tree, find_blocks, find_cut_vertices
+from .unionfind import UnionFind
+from .plan import JoinMethod, Plan, join_plan, scan_plan
+from .memo import MemoTable
+from .counters import OptimizerStats, Stopwatch
+from .query import QueryInfo
+
+__all__ = [
+    "bitmapset",
+    "JoinEdge",
+    "JoinGraph",
+    "grow",
+    "is_connected",
+    "connected_components",
+    "iter_connected_subsets_of_size",
+    "count_ccp_pairs",
+    "BlockDecomposition",
+    "find_blocks",
+    "find_cut_vertices",
+    "block_cut_tree",
+    "UnionFind",
+    "JoinMethod",
+    "Plan",
+    "scan_plan",
+    "join_plan",
+    "MemoTable",
+    "OptimizerStats",
+    "Stopwatch",
+    "QueryInfo",
+]

@@ -1,0 +1,275 @@
+"""Bitmap-set primitives used throughout the optimizer.
+
+The paper (Section 5, "Implementation Details") represents every set of
+relations, and every adjacency list, as a fixed-width bitmap set.  In this
+reproduction a bitmap set is simply a Python ``int``: bit ``i`` set means
+relation ``i`` is a member.  Python integers are arbitrary precision, so the
+same code handles the 1000-relation queries used by the heuristic experiments
+without a separate wide-bitmap type.
+
+The module provides the handful of operations the dynamic-programming
+algorithms need:
+
+* membership / iteration / popcount,
+* enumeration of all non-empty proper subsets of a set (Gosper-style
+  sub-mask walking), used by DPsub's inner loop,
+* unranking of the ``r``-th combination of ``k`` bits out of ``n``
+  (the "combinatorial system" the paper borrows from DPccp/Meister et al.
+  for the GPU *unrank* phase),
+* PDEP emulation (``deposit_bits``), which expands a dense index into the
+  positions of the bits of a mask — the trick DPsub uses to enumerate
+  ``S_left`` subsets of a set ``S`` (Section 2.2.1).
+
+All functions are pure and operate on plain ints so that they are trivially
+usable from the GPU simulator's "kernels" as well.
+"""
+
+from __future__ import annotations
+
+from math import comb
+from typing import Iterable, Iterator, List
+
+__all__ = [
+    "EMPTY",
+    "bit",
+    "from_indices",
+    "to_indices",
+    "iter_bits",
+    "popcount",
+    "lowest_bit",
+    "lowest_bit_index",
+    "highest_bit_index",
+    "is_subset",
+    "overlaps",
+    "difference",
+    "iter_subsets",
+    "iter_proper_nonempty_subsets",
+    "iter_submasks_of_size",
+    "unrank_combination",
+    "rank_combination",
+    "deposit_bits",
+    "extract_bits",
+    "next_combination",
+    "format_set",
+]
+
+#: The empty bitmap set.
+EMPTY: int = 0
+
+
+def bit(index: int) -> int:
+    """Return a singleton set containing only ``index``."""
+    if index < 0:
+        raise ValueError(f"bit index must be non-negative, got {index}")
+    return 1 << index
+
+
+def from_indices(indices: Iterable[int]) -> int:
+    """Build a set from an iterable of member indices."""
+    result = 0
+    for index in indices:
+        result |= bit(index)
+    return result
+
+
+def to_indices(mask: int) -> List[int]:
+    """Return the sorted list of member indices of ``mask``."""
+    return list(iter_bits(mask))
+
+
+def iter_bits(mask: int) -> Iterator[int]:
+    """Yield the member indices of ``mask`` in increasing order."""
+    while mask:
+        low = mask & -mask
+        yield low.bit_length() - 1
+        mask ^= low
+
+
+def popcount(mask: int) -> int:
+    """Return the number of members of ``mask``."""
+    return mask.bit_count()
+
+
+def lowest_bit(mask: int) -> int:
+    """Return the singleton set containing the smallest member of ``mask``.
+
+    Returns ``EMPTY`` for the empty set.
+    """
+    return mask & -mask
+
+
+def lowest_bit_index(mask: int) -> int:
+    """Return the smallest member index of ``mask``.
+
+    Raises :class:`ValueError` on the empty set.
+    """
+    if mask == 0:
+        raise ValueError("empty set has no lowest bit")
+    return (mask & -mask).bit_length() - 1
+
+
+def highest_bit_index(mask: int) -> int:
+    """Return the largest member index of ``mask``.
+
+    Raises :class:`ValueError` on the empty set.
+    """
+    if mask == 0:
+        raise ValueError("empty set has no highest bit")
+    return mask.bit_length() - 1
+
+
+def is_subset(subset: int, superset: int) -> bool:
+    """Return True if every member of ``subset`` is also in ``superset``."""
+    return subset & ~superset == 0
+
+
+def overlaps(a: int, b: int) -> bool:
+    """Return True if the two sets share at least one member."""
+    return a & b != 0
+
+
+def difference(a: int, b: int) -> int:
+    """Return the members of ``a`` that are not members of ``b``."""
+    return a & ~b
+
+
+def iter_subsets(mask: int) -> Iterator[int]:
+    """Yield every subset of ``mask`` including the empty set and ``mask``.
+
+    Subsets are produced in increasing numeric order of the *compressed*
+    representation, which is the canonical sub-mask enumeration order
+    ``s = (s - mask) & mask``.
+    """
+    sub = 0
+    while True:
+        yield sub
+        if sub == mask:
+            return
+        sub = (sub - mask) & mask
+
+
+def iter_proper_nonempty_subsets(mask: int) -> Iterator[int]:
+    """Yield every non-empty proper subset of ``mask``.
+
+    This is the enumeration DPsub performs for ``S_left`` (Algorithm 1,
+    line 8): all ways to split ``mask`` into ``(S_left, S_right)`` with both
+    halves non-empty correspond exactly to these subsets.
+    """
+    if mask == 0:
+        return
+    sub = (0 - mask) & mask  # first non-empty submask
+    while sub != mask:
+        yield sub
+        sub = (sub - mask) & mask
+
+
+def iter_submasks_of_size(mask: int, size: int) -> Iterator[int]:
+    """Yield every subset of ``mask`` that has exactly ``size`` members."""
+    members = to_indices(mask)
+    n = len(members)
+    if size < 0 or size > n:
+        return
+    if size == 0:
+        yield 0
+        return
+    # Walk k-combinations of the member positions with Gosper's hack over a
+    # dense universe, then deposit into the sparse mask.
+    dense = (1 << size) - 1
+    limit = 1 << n
+    while dense < limit:
+        yield deposit_bits(dense, mask)
+        dense = next_combination(dense)
+        if dense == 0:
+            break
+
+
+def next_combination(mask: int) -> int:
+    """Return the next larger int with the same popcount (Gosper's hack).
+
+    Returns 0 when ``mask`` is 0.
+    """
+    if mask == 0:
+        return 0
+    lowest = mask & -mask
+    ripple = mask + lowest
+    ones = mask ^ ripple
+    ones = (ones >> 2) // lowest
+    return ripple | ones
+
+
+def unrank_combination(rank: int, n: int, k: int) -> int:
+    """Return the ``rank``-th (0-based) k-subset of ``{0, .., n-1}``.
+
+    Subsets are ordered colexicographically, matching the combinatorial
+    number system used by the paper's GPU *unrank* phase: the ``rank``-th
+    subset is found greedily from the highest element downwards.
+    """
+    if k < 0 or k > n:
+        raise ValueError(f"invalid combination parameters n={n} k={k}")
+    total = comb(n, k)
+    if rank < 0 or rank >= total:
+        raise ValueError(f"rank {rank} out of range for C({n},{k})={total}")
+    result = 0
+    remaining_rank = rank
+    remaining_k = k
+    # Colexicographic unranking: choose the largest element c such that
+    # C(c, remaining_k) <= remaining_rank.
+    candidate = n - 1
+    while remaining_k > 0:
+        while comb(candidate, remaining_k) > remaining_rank:
+            candidate -= 1
+        result |= 1 << candidate
+        remaining_rank -= comb(candidate, remaining_k)
+        remaining_k -= 1
+        candidate -= 1
+    return result
+
+
+def rank_combination(mask: int, n: int) -> int:
+    """Inverse of :func:`unrank_combination` for a subset of ``{0,..,n-1}``."""
+    if mask >= (1 << n):
+        raise ValueError(f"mask {mask:#x} has members outside universe of size {n}")
+    members = to_indices(mask)
+    rank = 0
+    for position, member in enumerate(members, start=1):
+        rank += comb(member, position)
+    return rank
+
+
+def deposit_bits(value: int, mask: int) -> int:
+    """Emulate the x86 PDEP instruction.
+
+    The low bits of ``value`` are deposited, in order, into the positions of
+    the set bits of ``mask``.  DPsub uses this to map a dense counter
+    ``1 .. 2^|S|`` onto subsets of the (sparse) relation set ``S``
+    (Section 2.2.1 of the paper).
+    """
+    result = 0
+    position = 0
+    remaining = mask
+    while remaining:
+        low = remaining & -remaining
+        if value & (1 << position):
+            result |= low
+        remaining ^= low
+        position += 1
+    return result
+
+
+def extract_bits(value: int, mask: int) -> int:
+    """Emulate the x86 PEXT instruction (inverse of :func:`deposit_bits`)."""
+    result = 0
+    position = 0
+    remaining = mask
+    while remaining:
+        low = remaining & -remaining
+        if value & low:
+            result |= 1 << position
+        remaining ^= low
+        position += 1
+    return result
+
+
+def format_set(mask: int) -> str:
+    """Human-readable rendering, e.g. ``{0, 3, 5}``."""
+    return "{" + ", ".join(str(i) for i in iter_bits(mask)) + "}"

@@ -1,0 +1,166 @@
+"""Connectivity primitives over the join graph.
+
+These are the building blocks of every enumeration algorithm in the paper:
+
+* :func:`grow` — the paper's *grow function* (Section 3.2.1): starting from a
+  set of source nodes, repeatedly absorb every node of a *restricted* set that
+  is adjacent to the current frontier, and return everything reached.
+* :func:`is_connected` — whether the subgraph induced by a set is connected;
+  implemented exactly as the paper describes (grow from an arbitrary vertex of
+  the set, restricted to the set, then check whether everything was reached).
+* :func:`connected_components` — the connected components of an induced
+  subgraph, used by UnionDP and by the workload generators.
+* :func:`iter_connected_subsets_of_size` — enumeration of the set ``S_i`` of
+  all connected subsets of size ``i`` (Algorithm 1, line 5); offered both as a
+  filter over unranked combinations (the GPU formulation) and as a
+  neighbourhood-expansion enumerator that avoids materialising disconnected
+  candidates (used by the CPU DP implementations for speed).
+* :func:`count_ccp_pairs` — the query's CCP-Counter, i.e. the total number of
+  csg–cmp pairs, computed independently of any optimizer so that tests can
+  cross-check every algorithm's counter against it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Set
+
+from . import bitmapset as bms
+from .joingraph import JoinGraph
+
+__all__ = [
+    "grow",
+    "is_connected",
+    "connected_components",
+    "iter_connected_subsets_of_size",
+    "iter_connected_subsets_bruteforce",
+    "count_ccp_pairs",
+    "count_connected_subsets",
+]
+
+
+def grow(graph: JoinGraph, source: int, restricted: int) -> int:
+    """Return every node of ``restricted`` reachable from ``source``.
+
+    ``source`` must be a subset of ``restricted``.  This is the paper's grow
+    function: iteratively add every restricted node adjacent to the current
+    set until a fixpoint is reached.
+    """
+    if source & ~restricted:
+        raise ValueError("source nodes must be a subset of the restricted nodes")
+    reached = source
+    while True:
+        frontier = graph.neighbours_of_set(reached) & restricted
+        if not frontier:
+            return reached
+        reached |= frontier
+
+
+def is_connected(graph: JoinGraph, mask: int) -> bool:
+    """True if the subgraph induced by ``mask`` is connected.
+
+    The empty set is not connected; a singleton is.
+    """
+    if mask == 0:
+        return False
+    start = bms.lowest_bit(mask)
+    return grow(graph, start, mask) == mask
+
+
+def connected_components(graph: JoinGraph, mask: int) -> List[int]:
+    """Connected components of the subgraph induced by ``mask`` (as bitmaps)."""
+    components: List[int] = []
+    remaining = mask
+    while remaining:
+        start = bms.lowest_bit(remaining)
+        component = grow(graph, start, remaining)
+        components.append(component)
+        remaining &= ~component
+    return components
+
+
+def iter_connected_subsets_bruteforce(graph: JoinGraph, size: int) -> Iterator[int]:
+    """Enumerate connected subsets of ``size`` relations by unrank-and-filter.
+
+    This mirrors the GPU pipeline's *unrank* + *filter* phases: generate every
+    ``C(n, size)`` combination and keep the connected ones.  Exponential in
+    ``n`` — use :func:`iter_connected_subsets_of_size` in CPU code.
+    """
+    n = graph.n_relations
+    if size <= 0 or size > n:
+        return
+    if size == 1:
+        for v in range(n):
+            yield bms.bit(v)
+        return
+    mask = (1 << size) - 1
+    limit = 1 << n
+    while mask < limit:
+        if is_connected(graph, mask):
+            yield mask
+        mask = bms.next_combination(mask)
+        if mask == 0:
+            break
+
+
+def iter_connected_subsets_of_size(graph: JoinGraph, size: int,
+                                   within: Optional[int] = None) -> Iterator[int]:
+    """Enumerate every connected subset with exactly ``size`` members.
+
+    Uses breadth-first expansion of connected subsets: a connected subset of
+    size ``k`` is a connected subset of size ``k-1`` plus one neighbour.  To
+    avoid duplicates, each subset is emitted only when grown from its
+    canonical parent (the subset minus its highest-index vertex whose removal
+    keeps it connected is not tracked; instead we deduplicate with a seen-set,
+    which is simple and fast enough for the CPU-side DP levels).
+
+    ``within`` optionally restricts the enumeration to subsets of the given
+    vertex bitmap.  This matters when a heuristic (IDP2, UnionDP, LinDP) asks
+    an exact algorithm to optimize a small fragment of a huge query: without
+    the restriction the enumeration would walk every connected subset of the
+    whole graph only to discard almost all of them.
+    """
+    n = graph.n_relations
+    universe = graph.all_relations_mask if within is None else within
+    if size <= 0 or size > bms.popcount(universe):
+        return
+    current: Set[int] = {bms.bit(v) for v in bms.iter_bits(universe)}
+    if size == 1:
+        yield from sorted(current)
+        return
+    for _ in range(size - 1):
+        nxt: Set[int] = set()
+        for subset in current:
+            for neighbour in bms.iter_bits(graph.neighbours_of_set(subset) & universe):
+                nxt.add(subset | bms.bit(neighbour))
+        current = nxt
+    yield from sorted(current)
+
+
+def count_connected_subsets(graph: JoinGraph, size: int,
+                            within: Optional[int] = None) -> int:
+    """Number of connected subsets of exactly ``size`` relations."""
+    return sum(1 for _ in iter_connected_subsets_of_size(graph, size, within=within))
+
+
+def count_ccp_pairs(graph: JoinGraph) -> int:
+    """Total number of CCP-Pairs of the query, including symmetric ones.
+
+    This is the paper's *CCP-Counter* lower bound: for every connected subset
+    ``S`` (|S| >= 2) count every split ``(S_left, S_right)`` with both sides
+    connected, disjoint, covering ``S`` and joined by at least one edge.  The
+    value is identical for every optimal DP algorithm (Section 2.1), so tests
+    use this function as ground truth for each optimizer's CCP counter.
+    """
+    total = 0
+    for size in range(2, graph.n_relations + 1):
+        for subset in iter_connected_subsets_of_size(graph, size):
+            for left in bms.iter_proper_nonempty_subsets(subset):
+                right = subset & ~left
+                if not is_connected(graph, left):
+                    continue
+                if not is_connected(graph, right):
+                    continue
+                if not graph.is_connected_to(left, right):
+                    continue
+                total += 1
+    return total

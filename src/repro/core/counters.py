@@ -1,0 +1,126 @@
+"""Optimizer instrumentation.
+
+The paper compares algorithms primarily through two counters (Section 1):
+
+* ``EvaluatedCounter`` — how many Join-Pairs an algorithm *evaluates*
+  (i.e. generates and runs through the CCP checks / costing),
+* ``CCP-Counter`` — how many of those are valid CCP-Pairs; this value is the
+  same for every optimal algorithm on a given query and acts as the lower
+  bound an enumeration scheme can hope for.
+
+:class:`OptimizerStats` records both counters, plus everything else the
+benchmark harness needs to regenerate the paper's figures: per-DP-level work
+vectors (for the parallel-time models), memo sizes, and wall-clock time.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = ["OptimizerStats", "Stopwatch"]
+
+
+@dataclass
+class OptimizerStats:
+    """Counters and timings collected while an optimizer runs.
+
+    Attributes:
+        algorithm: name of the algorithm that produced these stats.
+        evaluated_pairs: the paper's EvaluatedCounter.
+        ccp_pairs: the paper's CCP-Counter (valid join pairs evaluated).
+        sets_considered: number of candidate relation sets inspected (for
+            subset-driven algorithms, the number of unranked sets before the
+            connectivity filter).
+        connected_sets: number of connected sets actually planned.
+        level_sets: per DP level (index = subset size), how many connected
+            sets were planned at that level.
+        level_pairs: per DP level, how many join pairs were evaluated.
+        level_ccp: per DP level, how many of those were valid CCP pairs.
+        memo_entries: number of entries in the memo at the end.
+        plan_cost: cost of the final plan (None if optimization failed).
+        wall_time_seconds: single-threaded wall-clock time of the run.
+        extra: free-form per-algorithm details (e.g. GPU kernel breakdown).
+    """
+
+    algorithm: str = ""
+    evaluated_pairs: int = 0
+    ccp_pairs: int = 0
+    sets_considered: int = 0
+    connected_sets: int = 0
+    level_sets: Dict[int, int] = field(default_factory=dict)
+    level_pairs: Dict[int, int] = field(default_factory=dict)
+    level_ccp: Dict[int, int] = field(default_factory=dict)
+    memo_entries: int = 0
+    plan_cost: Optional[float] = None
+    wall_time_seconds: float = 0.0
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    def record_set(self, level: int, connected: bool) -> None:
+        """Record that one candidate set of size ``level`` was considered."""
+        self.sets_considered += 1
+        if connected:
+            self.connected_sets += 1
+            self.level_sets[level] = self.level_sets.get(level, 0) + 1
+
+    def record_pair(self, level: int, is_ccp: bool) -> None:
+        """Record the evaluation of one join pair at DP level ``level``."""
+        self.evaluated_pairs += 1
+        self.level_pairs[level] = self.level_pairs.get(level, 0) + 1
+        if is_ccp:
+            self.record_ccp(level)
+
+    def record_ccp(self, level: int) -> None:
+        """Record that a previously-counted pair passed the CCP checks."""
+        self.ccp_pairs += 1
+        self.level_ccp[level] = self.level_ccp.get(level, 0) + 1
+
+    @property
+    def wasted_pairs(self) -> int:
+        """Join pairs that failed the CCP checks."""
+        return self.evaluated_pairs - self.ccp_pairs
+
+    @property
+    def efficiency(self) -> float:
+        """CCP-Pairs / EvaluatedCounter, in (0, 1]; 1.0 means no wasted work."""
+        if self.evaluated_pairs == 0:
+            return 1.0
+        return self.ccp_pairs / self.evaluated_pairs
+
+    def normalized_evaluated_pairs(self) -> float:
+        """EvaluatedCounter normalised to CCP-Counter (the Figure 2 metric)."""
+        if self.ccp_pairs == 0:
+            return float(self.evaluated_pairs) if self.evaluated_pairs else 1.0
+        return self.evaluated_pairs / self.ccp_pairs
+
+    def merge(self, other: "OptimizerStats") -> None:
+        """Accumulate counters from a nested optimizer run (IDP / UnionDP)."""
+        self.evaluated_pairs += other.evaluated_pairs
+        self.ccp_pairs += other.ccp_pairs
+        self.sets_considered += other.sets_considered
+        self.connected_sets += other.connected_sets
+        for level, count in other.level_sets.items():
+            self.level_sets[level] = self.level_sets.get(level, 0) + count
+        for level, count in other.level_pairs.items():
+            self.level_pairs[level] = self.level_pairs.get(level, 0) + count
+        for level, count in other.level_ccp.items():
+            self.level_ccp[level] = self.level_ccp.get(level, 0) + count
+        self.memo_entries += other.memo_entries
+
+
+class Stopwatch:
+    """Tiny context manager measuring elapsed wall time in seconds."""
+
+    def __init__(self) -> None:
+        self.elapsed = 0.0
+        self._start: Optional[float] = None
+
+    def __enter__(self) -> "Stopwatch":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        if self._start is not None:
+            self.elapsed = time.perf_counter() - self._start
+            self._start = None

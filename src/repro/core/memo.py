@@ -1,0 +1,81 @@
+"""Memo table: best plan per relation set.
+
+Every DP-style optimizer keeps a *memo* mapping a relation-set bitmap to the
+cheapest plan found so far for that set (``BestPlan(S)`` in the paper's
+pseudo-code).  The key is always a *vertex* bitmap of the query being
+optimized — for contracted queries (IDP2 / UnionDP composites) this differs
+from the plan's own ``relations`` bitmap, which lives in the root query's
+relation space, so keys are passed explicitly.
+
+On the CPU this is a plain dictionary; the GPU simulator uses the Murmur3
+open-addressing table in :mod:`repro.gpu.hashtable`, which mirrors the paper's
+Section 5 implementation, but both expose the same interface so the
+enumeration code is identical.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from . import bitmapset as bms
+from .plan import Plan
+
+__all__ = ["MemoTable"]
+
+
+class MemoTable:
+    """Dictionary-backed memo of the cheapest plan per vertex set."""
+
+    def __init__(self) -> None:
+        self._best: Dict[int, Plan] = {}
+        self.n_updates = 0
+        self.n_improvements = 0
+
+    def __len__(self) -> int:
+        return len(self._best)
+
+    def __contains__(self, key: int) -> bool:
+        return key in self._best
+
+    def get(self, key: int) -> Optional[Plan]:
+        """Best plan for the vertex set ``key``, or None if never planned."""
+        return self._best.get(key)
+
+    def __getitem__(self, key: int) -> Plan:
+        plan = self._best.get(key)
+        if plan is None:
+            raise KeyError(f"no plan memoised for vertex set {bms.format_set(key)}")
+        return plan
+
+    def put(self, key: int, plan: Plan) -> bool:
+        """Store ``plan`` if it is the cheapest seen for ``key``.
+
+        Returns True if the memo entry was created or improved.
+        """
+        self.n_updates += 1
+        current = self._best.get(key)
+        if current is None or plan.cost < current.cost:
+            self._best[key] = plan
+            self.n_improvements += 1
+            return True
+        return False
+
+    def put_unconditionally(self, key: int, plan: Plan) -> None:
+        """Overwrite the memo entry regardless of cost (used by IDP rollups)."""
+        self.n_updates += 1
+        self.n_improvements += 1
+        self._best[key] = plan
+
+    def items(self) -> Iterator[Tuple[int, Plan]]:
+        """Iterate over ``(vertex_set, best_plan)`` entries."""
+        return iter(self._best.items())
+
+    def keys_of_size(self, size: int) -> List[int]:
+        """All memoised vertex sets with exactly ``size`` members."""
+        return [key for key in self._best if bms.popcount(key) == size]
+
+    def clear(self) -> None:
+        """Remove every entry and reset statistics."""
+        self._best.clear()
+        self.n_updates = 0
+        self.n_improvements = 0

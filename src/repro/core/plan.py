@@ -1,0 +1,218 @@
+"""Join plan trees.
+
+The output of every optimizer in this repository is a :class:`Plan` — a binary
+tree whose leaves are base-relation scans and whose inner nodes are joins.
+Plans carry the estimated output cardinality (``rows``) and the accumulated
+cost under whichever cost model built them; the DP algorithms compare plans by
+cost when updating the memo table (``CurrPlan < BestPlan(S)`` in the paper's
+pseudo-code).
+
+Plans are immutable value objects: the memo table stores them by relation-set
+bitmap and subplans are shared freely between alternative parents.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple
+
+from . import bitmapset as bms
+
+__all__ = ["JoinMethod", "Plan", "scan_plan", "join_plan"]
+
+
+class JoinMethod:
+    """Physical operator tags used by the cost models."""
+
+    SCAN = "seqscan"
+    HASH_JOIN = "hashjoin"
+    NESTED_LOOP = "nestloop"
+    MERGE_JOIN = "mergejoin"
+
+    ALL_JOINS = (HASH_JOIN, NESTED_LOOP, MERGE_JOIN)
+
+
+@dataclass(frozen=True)
+class Plan:
+    """A (sub)plan covering the relation set ``relations``.
+
+    Attributes:
+        relations: bitmap of the base relations covered by this plan.
+        rows: estimated output cardinality.
+        cost: total estimated cost of producing the output (includes the cost
+            of the children).
+        method: physical operator (:class:`JoinMethod` constant).
+        left: left child for joins, None for scans.
+        right: right child for joins, None for scans.
+        relation_index: base relation index for scans, None for joins.
+    """
+
+    relations: int
+    rows: float
+    cost: float
+    method: str
+    left: Optional["Plan"] = None
+    right: Optional["Plan"] = None
+    relation_index: Optional[int] = None
+
+    # ------------------------------------------------------------------ #
+    # Shape queries
+    # ------------------------------------------------------------------ #
+    @property
+    def is_leaf(self) -> bool:
+        """True for base-relation scans."""
+        return self.left is None and self.right is None
+
+    @property
+    def n_relations(self) -> int:
+        """Number of base relations covered."""
+        return bms.popcount(self.relations)
+
+    @property
+    def n_joins(self) -> int:
+        """Number of join operators in the tree."""
+        return self.n_relations - 1
+
+    def depth(self) -> int:
+        """Height of the tree (a leaf has depth 1)."""
+        if self.is_leaf:
+            return 1
+        return 1 + max(self.left.depth(), self.right.depth())
+
+    def is_left_deep(self) -> bool:
+        """True if every join's right child is a base relation."""
+        if self.is_leaf:
+            return True
+        return self.right.is_leaf and self.left.is_left_deep()
+
+    def is_bushy(self) -> bool:
+        """True if some join has two composite children."""
+        return not self.is_left_deep() and not self.is_right_deep()
+
+    def is_right_deep(self) -> bool:
+        """True if every join's left child is a base relation."""
+        if self.is_leaf:
+            return True
+        return self.left.is_leaf and self.right.is_right_deep()
+
+    # ------------------------------------------------------------------ #
+    # Traversal
+    # ------------------------------------------------------------------ #
+    def iter_nodes(self) -> Iterator["Plan"]:
+        """Pre-order traversal of every node of the tree."""
+        stack: List[Plan] = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            if node.right is not None:
+                stack.append(node.right)
+            if node.left is not None:
+                stack.append(node.left)
+
+    def iter_joins(self) -> Iterator["Plan"]:
+        """Yield every join node."""
+        for node in self.iter_nodes():
+            if not node.is_leaf:
+                yield node
+
+    def iter_leaves(self) -> Iterator["Plan"]:
+        """Yield every scan node, left to right."""
+        if self.is_leaf:
+            yield self
+            return
+        yield from self.left.iter_leaves()
+        yield from self.right.iter_leaves()
+
+    def leaf_order(self) -> List[int]:
+        """Base-relation indices in left-to-right leaf order."""
+        return [leaf.relation_index for leaf in self.iter_leaves()]
+
+    def subplan_for(self, relations: int) -> Optional["Plan"]:
+        """Return the subtree covering exactly ``relations``, if present."""
+        for node in self.iter_nodes():
+            if node.relations == relations:
+                return node
+        return None
+
+    # ------------------------------------------------------------------ #
+    # Validation / rendering
+    # ------------------------------------------------------------------ #
+    def validate(self) -> None:
+        """Check the structural invariants of the tree.
+
+        Raises :class:`ValueError` when a join's children overlap, a node's
+        relation bitmap does not equal the union of its children's, or a leaf
+        is missing its relation index.
+        """
+        if self.is_leaf:
+            if self.relation_index is None:
+                raise ValueError("leaf plan without relation_index")
+            if self.relations != bms.bit(self.relation_index):
+                raise ValueError("leaf plan relations bitmap mismatch")
+            return
+        if self.left is None or self.right is None:
+            raise ValueError("join plan must have two children")
+        if self.left.relations & self.right.relations:
+            raise ValueError("join children overlap")
+        if self.relations != (self.left.relations | self.right.relations):
+            raise ValueError("join relations bitmap is not the union of children")
+        if self.method not in JoinMethod.ALL_JOINS:
+            raise ValueError(f"unknown join method {self.method!r}")
+        self.left.validate()
+        self.right.validate()
+
+    def to_string(self, relation_names: Optional[List[str]] = None, indent: int = 0) -> str:
+        """Readable multi-line rendering of the plan tree."""
+        pad = "  " * indent
+        if self.is_leaf:
+            name = (
+                relation_names[self.relation_index]
+                if relation_names is not None
+                else f"R{self.relation_index}"
+            )
+            return f"{pad}{self.method}({name}) rows={self.rows:.0f} cost={self.cost:.1f}"
+        lines = [f"{pad}{self.method} rows={self.rows:.0f} cost={self.cost:.1f}"]
+        lines.append(self.left.to_string(relation_names, indent + 1))
+        lines.append(self.right.to_string(relation_names, indent + 1))
+        return "\n".join(lines)
+
+    def structure(self) -> Tuple:
+        """Nested-tuple encoding of the join structure (ignores costs).
+
+        Useful in tests for comparing plan *shapes* across optimizers that
+        should agree on the optimal join order.
+        """
+        if self.is_leaf:
+            return (self.relation_index,)
+        return (self.left.structure(), self.right.structure())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Plan(relations={bms.format_set(self.relations)}, rows={self.rows:.1f}, "
+            f"cost={self.cost:.1f}, method={self.method})"
+        )
+
+
+def scan_plan(relation_index: int, rows: float, cost: float) -> Plan:
+    """Build a base-relation scan plan."""
+    return Plan(
+        relations=bms.bit(relation_index),
+        rows=rows,
+        cost=cost,
+        method=JoinMethod.SCAN,
+        relation_index=relation_index,
+    )
+
+
+def join_plan(left: Plan, right: Plan, rows: float, cost: float, method: str) -> Plan:
+    """Build a join plan over two disjoint subplans."""
+    if left.relations & right.relations:
+        raise ValueError("cannot join overlapping subplans")
+    return Plan(
+        relations=left.relations | right.relations,
+        rows=rows,
+        cost=cost,
+        method=method,
+        left=left,
+        right=right,
+    )

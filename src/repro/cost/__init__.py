@@ -1,0 +1,27 @@
+"""Cardinality estimation and cost models.
+
+Two cost models are provided, mirroring Section 7.1 of the paper:
+
+* :class:`~repro.cost.postgres.PostgresCostModel` — a "realistic" model close
+  to PostgreSQL's, covering sequential scans and the three standard join
+  operators (hash, nested-loop, sort-merge).  This is the model every
+  optimizer uses when producing the plans compared in the evaluation.
+* :class:`~repro.cost.cout.CoutCostModel` — the classic ``C_out`` model (sum
+  of intermediate result sizes) used by IKKBZ and linearized DP.
+
+Cardinalities come from :class:`~repro.cost.cardinality.CardinalityEstimator`,
+a System-R style estimator over the join graph's per-edge selectivities.
+"""
+
+from .cardinality import CardinalityEstimator
+from .base import CostModel
+from .postgres import PostgresCostModel, PostgresCostParameters
+from .cout import CoutCostModel
+
+__all__ = [
+    "CardinalityEstimator",
+    "CostModel",
+    "PostgresCostModel",
+    "PostgresCostParameters",
+    "CoutCostModel",
+]

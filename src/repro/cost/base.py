@@ -1,0 +1,40 @@
+"""Cost model interface shared by every optimizer.
+
+A cost model turns cardinalities into plan costs.  Optimizers only ever call
+two methods — :meth:`CostModel.scan` to build a leaf plan and
+:meth:`CostModel.join` to build the cheapest join of two subplans — so
+swapping the PostgreSQL-like model for ``C_out`` (as IKKBZ / LinDP do) is a
+one-argument change.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from ..core.plan import Plan
+
+__all__ = ["CostModel"]
+
+
+class CostModel(ABC):
+    """Abstract cost model: builds scan and join plans with costs attached."""
+
+    #: Short identifier used in benchmark reports.
+    name: str = "abstract"
+
+    @abstractmethod
+    def scan(self, relation_index: int, rows: float) -> Plan:
+        """Build the access plan for a base relation with ``rows`` tuples."""
+
+    @abstractmethod
+    def join(self, left: Plan, right: Plan, output_rows: float) -> Plan:
+        """Build the cheapest join of two disjoint subplans.
+
+        ``output_rows`` is the estimated cardinality of the join result; the
+        model picks the cheapest physical operator and returns the resulting
+        plan (whose cost includes both children).
+        """
+
+    def join_cost_only(self, left: Plan, right: Plan, output_rows: float) -> float:
+        """Convenience: cost of the cheapest join without materialising a Plan."""
+        return self.join(left, right, output_rows).cost

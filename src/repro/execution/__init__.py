@@ -1,0 +1,15 @@
+"""Query execution substrates: cost-based runtime model and in-memory executor."""
+
+from .engine import (
+    CostBasedRuntimeModel,
+    ExecutionResult,
+    InMemoryExecutor,
+    SyntheticDataset,
+)
+
+__all__ = [
+    "CostBasedRuntimeModel",
+    "ExecutionResult",
+    "InMemoryExecutor",
+    "SyntheticDataset",
+]

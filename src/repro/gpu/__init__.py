@@ -1,0 +1,29 @@
+"""GPU execution simulator.
+
+The paper's GPU implementation (Section 5) is replaced here by a simulator:
+the same enumeration algorithms run on the CPU, and an explicit device model
+converts their per-level work counters into simulated kernel times for the
+unrank / filter / evaluate / prune / scatter pipeline, including the paper's
+two enhancements (kernel fusion of the prune step and Collaborative Context
+Collection for branch divergence).
+"""
+
+from .device import GPUDeviceSpec, GTX_1080, TESLA_T4
+from .hashtable import GPUHashTable, murmur3_32, murmur3_bitmap
+from .pipeline import GPUPipelineModel, GPUTimeBreakdown
+from .simulated import DPSizeGpu, DPSubGpu, GPUSimulatedOptimizer, MPDPGpu
+
+__all__ = [
+    "GPUDeviceSpec",
+    "GTX_1080",
+    "TESLA_T4",
+    "GPUHashTable",
+    "murmur3_32",
+    "murmur3_bitmap",
+    "GPUPipelineModel",
+    "GPUTimeBreakdown",
+    "GPUSimulatedOptimizer",
+    "MPDPGpu",
+    "DPSubGpu",
+    "DPSizeGpu",
+]

@@ -1,0 +1,95 @@
+"""GPU device model.
+
+The paper runs its GPU algorithms on an NVIDIA GTX 1080 (evaluation) and a T4
+(the AWS cost experiment).  This repository has no GPU, so the GPU execution
+is *simulated*: the enumeration code runs on the CPU to produce the plan and
+the per-level work counters, and a :class:`GPUDeviceSpec` converts those work
+counters into simulated kernel times.
+
+The model is intentionally simple and fully documented so that every number it
+produces can be traced back to a counter:
+
+* a kernel processing ``w`` work items of ``c`` cycles each on a device with
+  ``lanes`` parallel lanes running at ``clock_hz`` takes
+  ``launch_overhead + (w * c) / (lanes * clock_hz * efficiency)``;
+* every DP level additionally pays a host↔device round trip
+  (``pcie_latency_s`` plus the transferred bytes over ``pcie_bandwidth``),
+  which is what makes GPU optimization unattractive for small queries
+  (Section 7.2: "for joins with less than 10 relations MPDP (GPU) does not
+  perform that well because of data transfer costs").
+
+Absolute times are model outputs, not measurements; the benchmark write-ups
+compare *shapes* (who wins, by how much, where curves cross), which depend on
+the counters rather than on the constants chosen here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["GPUDeviceSpec", "GTX_1080", "TESLA_T4"]
+
+
+@dataclass(frozen=True)
+class GPUDeviceSpec:
+    """Parameters of the simulated GPU."""
+
+    name: str
+    #: Number of streaming multiprocessors.
+    sm_count: int
+    #: Resident warps that can make progress concurrently per SM.
+    warps_per_sm: int
+    #: Threads per warp (SIMD width).
+    warp_size: int = 32
+    #: Core clock in Hz.
+    clock_hz: float = 1.6e9
+    #: Fraction of peak throughput a memory-bound enumeration kernel sustains.
+    efficiency: float = 0.25
+    #: Per-kernel launch overhead in seconds.
+    kernel_launch_overhead_s: float = 8e-6
+    #: Host <-> device latency per transfer, seconds.
+    pcie_latency_s: float = 12e-6
+    #: Host <-> device bandwidth, bytes per second.
+    pcie_bandwidth: float = 12e9
+    #: Bytes moved per memo entry when a level's results are scattered.
+    memo_entry_bytes: int = 32
+    #: Global-memory write cost in cycles (used by the kernel-fusion ablation).
+    global_write_cycles: float = 300.0
+    #: Shared-memory access cost in cycles.
+    shared_access_cycles: float = 30.0
+
+    @property
+    def parallel_lanes(self) -> int:
+        """Number of hardware threads that can execute concurrently."""
+        return self.sm_count * self.warps_per_sm * self.warp_size
+
+    def kernel_time(self, work_items: float, cycles_per_item: float) -> float:
+        """Seconds taken by one kernel over ``work_items`` uniform items."""
+        if work_items <= 0:
+            return 0.0
+        total_cycles = work_items * cycles_per_item
+        throughput = self.parallel_lanes * self.clock_hz * self.efficiency
+        return self.kernel_launch_overhead_s + total_cycles / throughput
+
+    def transfer_time(self, n_bytes: float) -> float:
+        """Seconds for one host↔device transfer of ``n_bytes``."""
+        if n_bytes <= 0:
+            return 0.0
+        return self.pcie_latency_s + n_bytes / self.pcie_bandwidth
+
+
+#: The evaluation GPU of the paper (Section 7.1).
+GTX_1080 = GPUDeviceSpec(
+    name="NVIDIA GTX 1080",
+    sm_count=20,
+    warps_per_sm=4,
+    clock_hz=1.6e9,
+)
+
+#: The AWS g4dn.xlarge GPU used for the cost experiment (Section 7.5).
+TESLA_T4 = GPUDeviceSpec(
+    name="NVIDIA Tesla T4",
+    sm_count=40,
+    warps_per_sm=4,
+    clock_hz=1.35e9,
+)

@@ -1,0 +1,166 @@
+"""Murmur3-hashed open-addressing memo table (the GPU memo of Section 5).
+
+The paper's GPU implementation stores the memo as "a simple open-addressing
+hash table" keyed by the relation bitmap and hashed with Murmur3.  This module
+provides a faithful functional equivalent: a fixed-capacity, linear-probing
+table whose hash function is MurmurHash3 (32-bit finalizer over the 64-bit
+chunks of the bitmap).  The GPU-simulated optimizers use it as their memo so
+that the data structure the paper describes is exercised by real lookups and
+inserts; probe counts are tracked because they feed the simulated scatter
+cost.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Tuple
+
+from ..core.plan import Plan
+
+__all__ = ["murmur3_32", "murmur3_bitmap", "GPUHashTable"]
+
+_MASK32 = 0xFFFFFFFF
+
+
+def _rotl32(value: int, shift: int) -> int:
+    value &= _MASK32
+    return ((value << shift) | (value >> (32 - shift))) & _MASK32
+
+
+def murmur3_32(data: bytes, seed: int = 0) -> int:
+    """MurmurHash3 x86 32-bit of ``data`` (reference algorithm by Appleby)."""
+    c1 = 0xCC9E2D51
+    c2 = 0x1B873593
+    h = seed & _MASK32
+    length = len(data)
+    rounded = length - (length % 4)
+
+    for offset in range(0, rounded, 4):
+        k = int.from_bytes(data[offset:offset + 4], "little")
+        k = (k * c1) & _MASK32
+        k = _rotl32(k, 15)
+        k = (k * c2) & _MASK32
+        h ^= k
+        h = _rotl32(h, 13)
+        h = (h * 5 + 0xE6546B64) & _MASK32
+
+    k = 0
+    tail = data[rounded:]
+    if len(tail) >= 3:
+        k ^= tail[2] << 16
+    if len(tail) >= 2:
+        k ^= tail[1] << 8
+    if len(tail) >= 1:
+        k ^= tail[0]
+        k = (k * c1) & _MASK32
+        k = _rotl32(k, 15)
+        k = (k * c2) & _MASK32
+        h ^= k
+
+    h ^= length
+    h ^= h >> 16
+    h = (h * 0x85EBCA6B) & _MASK32
+    h ^= h >> 13
+    h = (h * 0xC2B2AE35) & _MASK32
+    h ^= h >> 16
+    return h
+
+
+def murmur3_bitmap(bitmap: int, seed: int = 0) -> int:
+    """Murmur3 hash of a relation bitmap of arbitrary width."""
+    n_bytes = max(8, (bitmap.bit_length() + 7) // 8)
+    # Round up to a multiple of 8 so equal sets hash equally regardless of width.
+    n_bytes = ((n_bytes + 7) // 8) * 8
+    return murmur3_32(bitmap.to_bytes(n_bytes, "little"), seed)
+
+
+class GPUHashTable:
+    """Fixed-capacity open-addressing hash table keyed by relation bitmaps.
+
+    Mirrors the memo the paper builds in GPU global memory: linear probing,
+    no deletion, growth by rehashing into a table twice the size when the
+    load factor exceeds 0.7 (the CPU host would reallocate device memory).
+    """
+
+    _EMPTY = None
+
+    def __init__(self, capacity: int = 1024):
+        if capacity < 4:
+            raise ValueError("capacity must be at least 4")
+        self._capacity = 1 << (capacity - 1).bit_length()
+        self._keys: List[Optional[int]] = [self._EMPTY] * self._capacity
+        self._values: List[Optional[Plan]] = [None] * self._capacity
+        self._size = 0
+        #: Total number of probe steps performed; feeds the scatter-cost model.
+        self.probe_count = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    @property
+    def load_factor(self) -> float:
+        return self._size / self._capacity
+
+    def _slot(self, key: int) -> int:
+        return murmur3_bitmap(key) & (self._capacity - 1)
+
+    def _probe(self, key: int) -> int:
+        """Index of the slot containing ``key`` or the first empty slot."""
+        index = self._slot(key)
+        while True:
+            self.probe_count += 1
+            slot_key = self._keys[index]
+            if slot_key is self._EMPTY or slot_key == key:
+                return index
+            index = (index + 1) & (self._capacity - 1)
+
+    def get(self, key: int) -> Optional[Plan]:
+        """Best plan stored for ``key``, or None."""
+        index = self._probe(key)
+        if self._keys[index] == key:
+            return self._values[index]
+        return None
+
+    def __contains__(self, key: int) -> bool:
+        return self.get(key) is not None
+
+    def __getitem__(self, key: int) -> Plan:
+        plan = self.get(key)
+        if plan is None:
+            raise KeyError(f"no plan for key {key:#x}")
+        return plan
+
+    def put(self, key: int, plan: Plan) -> bool:
+        """Keep the cheaper of the stored and offered plan for ``key``."""
+        if self.load_factor > 0.7:
+            self._grow()
+        index = self._probe(key)
+        if self._keys[index] == key:
+            if plan.cost < self._values[index].cost:
+                self._values[index] = plan
+                return True
+            return False
+        self._keys[index] = key
+        self._values[index] = plan
+        self._size += 1
+        return True
+
+    def items(self) -> Iterator[Tuple[int, Plan]]:
+        for key, value in zip(self._keys, self._values):
+            if key is not self._EMPTY:
+                yield key, value
+
+    def _grow(self) -> None:
+        entries = list(self.items())
+        self._capacity *= 2
+        self._keys = [self._EMPTY] * self._capacity
+        self._values = [None] * self._capacity
+        self._size = 0
+        for key, value in entries:
+            index = self._probe(key)
+            self._keys[index] = key
+            self._values[index] = value
+            self._size += 1

@@ -1,0 +1,189 @@
+"""Simulated GPU execution of the unrank / filter / evaluate / prune / scatter pipeline.
+
+Section 5 of the paper structures each DP level of the GPU implementation into
+five phases.  This module turns the per-level work counters recorded by the
+CPU run of an algorithm into simulated kernel times for those phases, using an
+explicit :class:`~repro.gpu.device.GPUDeviceSpec`.
+
+The model charges *lane-cycles* (how long each of the device's SIMD lanes is
+busy) per phase and converts them to seconds through the device's aggregate
+throughput, plus per-kernel launch overheads and per-level PCIe transfers:
+
+========  =====================================================================
+Phase     Lane-cycles charged
+========  =====================================================================
+unrank    ``C(n, level)`` combinations x ``UNRANK_CYCLES``
+filter    ``C(n, level)`` connectivity checks x ``FILTER_CYCLES_PER_RELATION * level``
+evaluate  every enumerated pair pays ``CHECK_CYCLES``; valid pairs additionally
+          pay the cost function (``COST_CYCLES``).  Without Collaborative
+          Context Collection a warp in which *any* lane found a valid pair
+          stalls all 32 lanes for the duration of the cost function, so the
+          charge is per-warp; with CCC only the valid pairs pay it (plus a
+          small stash-management overhead per enumerated pair).
+prune     with kernel fusion the per-set winner is reduced in shared memory
+          (one shared access per pair); without fusion every valid pair is
+          written to and re-read from global memory and a separate prune
+          kernel is launched.
+scatter   one global write (times the measured average hash-probe length) per
+          memo entry produced at the level.
+========  =====================================================================
+
+MPDP additionally pays a per-set ``Find-Blocks`` charge in the evaluate phase;
+DPsize has no unrank/filter phases because it enumerates pairs of memoised
+plans rather than subsets.  Phase constants are module-level so the ablation
+benchmark (kernel fusion on/off, CCC on/off — Section 7.2.5) and tests can
+reason about them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from math import comb
+from typing import Dict, Optional
+
+from ..core.counters import OptimizerStats
+from .device import GPUDeviceSpec, GTX_1080
+
+__all__ = ["GPUPipelineModel", "GPUTimeBreakdown"]
+
+#: Cycles to unrank one combination with the combinatorial number system.
+UNRANK_CYCLES = 40.0
+#: Cycles per relation to check connectivity of one unranked set (grow()).
+FILTER_CYCLES_PER_RELATION = 12.0
+#: Cycles for the CCP validity checks of one enumerated pair.
+CHECK_CYCLES = 60.0
+#: Cycles to run the cost function on one valid pair (PostgreSQL-like model;
+#: the paper notes cost-function complexity matters for parallel DP pay-off).
+COST_CYCLES = 250.0
+#: Cycles per enumerated pair spent managing the CCC shared-memory stash.
+CCC_OVERHEAD_CYCLES = 10.0
+#: Cycles per set to find blocks (Find-Blocks runs at warp level in MPDP).
+FIND_BLOCKS_CYCLES_PER_RELATION = 25.0
+
+
+@dataclass
+class GPUTimeBreakdown:
+    """Per-phase simulated seconds, plus the total."""
+
+    unrank: float = 0.0
+    filter: float = 0.0
+    evaluate: float = 0.0
+    prune: float = 0.0
+    scatter: float = 0.0
+    transfer: float = 0.0
+    per_level: Dict[int, float] = field(default_factory=dict)
+
+    @property
+    def total(self) -> float:
+        return self.unrank + self.filter + self.evaluate + self.prune + self.scatter + self.transfer
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "unrank": self.unrank,
+            "filter": self.filter,
+            "evaluate": self.evaluate,
+            "prune": self.prune,
+            "scatter": self.scatter,
+            "transfer": self.transfer,
+            "total": self.total,
+        }
+
+
+@dataclass
+class GPUPipelineModel:
+    """Converts an optimizer's per-level counters into simulated GPU time.
+
+    Attributes:
+        device: the simulated GPU.
+        uses_subset_unranking: True for subset-driven algorithms (DPsub, MPDP)
+            that unrank and filter all ``C(n, level)`` combinations per level;
+            False for DPsize, which enumerates pairs of memoised plans.
+        uses_block_decomposition: True for MPDP (charges Find-Blocks per set).
+        kernel_fusion: paper enhancement 1 — prune inside the evaluate kernel
+            in shared memory instead of a separate kernel over global memory.
+        collaborative_context_collection: paper enhancement 2 — avoid 'if'
+            branch divergence by stashing valid pairs until a full warp of
+            cost-function work is available.
+    """
+
+    device: GPUDeviceSpec = GTX_1080
+    uses_subset_unranking: bool = True
+    uses_block_decomposition: bool = False
+    kernel_fusion: bool = True
+    collaborative_context_collection: bool = True
+
+    def simulate(self, stats: OptimizerStats, n_relations: int,
+                 average_hash_probes: float = 1.2) -> GPUTimeBreakdown:
+        """Simulated execution time of the recorded run on this device."""
+        device = self.device
+        breakdown = GPUTimeBreakdown()
+        levels = sorted(set(stats.level_pairs) | set(stats.level_sets))
+        kernels_per_level = 0
+
+        for level in levels:
+            level_seconds = 0.0
+            pairs = stats.level_pairs.get(level, 0)
+            valid = stats.level_ccp.get(level, 0)
+            sets_planned = stats.level_sets.get(level, 0)
+
+            # ---------------- unrank + filter ---------------------------- #
+            if self.uses_subset_unranking:
+                combinations = comb(n_relations, level)
+                unrank_time = device.kernel_time(combinations, UNRANK_CYCLES)
+                filter_time = device.kernel_time(
+                    combinations, FILTER_CYCLES_PER_RELATION * level)
+                breakdown.unrank += unrank_time
+                breakdown.filter += filter_time
+                level_seconds += unrank_time + filter_time
+                kernels_per_level = 2
+
+            # ---------------- evaluate ----------------------------------- #
+            evaluate_cycles = pairs * CHECK_CYCLES
+            if self.uses_block_decomposition:
+                evaluate_cycles += sets_planned * FIND_BLOCKS_CYCLES_PER_RELATION * level
+            if pairs > 0:
+                density = valid / pairs
+            else:
+                density = 0.0
+            if self.collaborative_context_collection:
+                evaluate_cycles += valid * COST_CYCLES
+                evaluate_cycles += pairs * CCC_OVERHEAD_CYCLES
+            else:
+                # Branch divergence: a warp stalls for the whole cost function
+                # as soon as one of its lanes holds a valid pair.
+                warp = device.warp_size
+                warp_hit_probability = min(1.0, density * warp)
+                evaluate_cycles += pairs * warp_hit_probability * COST_CYCLES
+            evaluate_time = device.kernel_time(1.0, evaluate_cycles) \
+                if evaluate_cycles else 0.0
+            breakdown.evaluate += evaluate_time
+            level_seconds += evaluate_time
+
+            # ---------------- prune -------------------------------------- #
+            if self.kernel_fusion:
+                prune_cycles = pairs * device.shared_access_cycles
+                prune_time = device.kernel_time(1.0, prune_cycles) if prune_cycles else 0.0
+            else:
+                # Separate prune kernel: write every valid candidate plan to
+                # global memory, then re-read it in a reduce-by-key kernel.
+                prune_cycles = valid * device.global_write_cycles * 2.0
+                prune_time = device.kernel_time(1.0, prune_cycles) if prune_cycles else 0.0
+                prune_time += device.kernel_launch_overhead_s
+            breakdown.prune += prune_time
+            level_seconds += prune_time
+
+            # ---------------- scatter ------------------------------------ #
+            scatter_cycles = sets_planned * device.global_write_cycles * average_hash_probes
+            scatter_time = device.kernel_time(1.0, scatter_cycles) if scatter_cycles else 0.0
+            breakdown.scatter += scatter_time
+            level_seconds += scatter_time
+
+            # ---------------- host <-> device traffic -------------------- #
+            transfer_time = device.transfer_time(sets_planned * device.memo_entry_bytes)
+            transfer_time += device.transfer_time(64)  # level control block
+            breakdown.transfer += transfer_time
+            level_seconds += transfer_time
+
+            breakdown.per_level[level] = level_seconds
+
+        return breakdown

@@ -1,0 +1,40 @@
+"""Heuristic join-order optimizers.
+
+These are the algorithms Section 7.3 of the paper compares on very large
+queries (30 to 1000 relations): the baselines GE-QO, GOO, IKKBZ and LinDP, and
+the paper's own IDP2-MPDP and UnionDP-MPDP.  All of them implement the same
+:class:`~repro.optimizers.base.JoinOrderOptimizer` interface as the exact
+algorithms, so the benchmark harness treats them uniformly.
+"""
+
+from .goo import GOO
+from .ikkbz import IKKBZ, build_left_deep_plan, left_deep_cout_cost
+from .geqo import GEQO
+from .idp import IDP1, IDP2
+from .lindp import AdaptiveLinDP, LinearizedDP
+from .uniondp import UnionDP
+
+#: Registry used by the benchmark harness (Tables 1-2 column order).
+HEURISTIC_OPTIMIZERS = {
+    "GE-QO": GEQO,
+    "GOO": GOO,
+    "IKKBZ": IKKBZ,
+    "LinDP": AdaptiveLinDP,
+    "IDP1": IDP1,
+    "IDP2": IDP2,
+    "UnionDP": UnionDP,
+}
+
+__all__ = [
+    "GOO",
+    "IKKBZ",
+    "left_deep_cout_cost",
+    "build_left_deep_plan",
+    "GEQO",
+    "IDP1",
+    "IDP2",
+    "LinearizedDP",
+    "AdaptiveLinDP",
+    "UnionDP",
+    "HEURISTIC_OPTIMIZERS",
+]

@@ -1,0 +1,200 @@
+"""GEQO — PostgreSQL's genetic query optimizer.
+
+PostgreSQL falls back to a genetic algorithm (GEQO) when a query joins more
+relations than ``geqo_threshold`` (12 by default); it is the ``GE-QO``
+baseline of Tables 1 and 2.  The algorithm evolves a population of relation
+*tours* (permutations).  Each tour is decoded into a join tree by PostgreSQL's
+``gimme_tree``: relations are taken in tour order and greedily attached to the
+growing forest, joining only when a join predicate exists, then remaining
+subtrees are combined — a tour whose decoding would require a cross product is
+penalised with an infinite fitness, mirroring PostgreSQL's behaviour of
+discarding such tours when possible.
+
+The genetic machinery follows PostgreSQL's defaults: steady-state replacement
+(one offspring per generation replaces the worst individual), fitness-biased
+parent selection, edge-recombination-like crossover (implemented as order
+crossover, which preserves adjacency well enough for join tours), and a
+population / generation count derived from the query size via the same
+``geqo_effort`` formulas PostgreSQL uses.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import List, Optional, Sequence, Tuple
+
+from ..core import bitmapset as bms
+from ..core.counters import OptimizerStats
+from ..core.memo import MemoTable
+from ..core.plan import Plan
+from ..core.query import QueryInfo
+from ..optimizers.base import JoinOrderOptimizer, OptimizationError
+
+__all__ = ["GEQO"]
+
+
+class GEQO(JoinOrderOptimizer):
+    """Genetic join-order search modelled on PostgreSQL's GEQO module."""
+
+    name = "GE-QO"
+    parallelizability = "sequential"
+    exact = False
+
+    def __init__(self, effort: int = 5, seed: int = 0,
+                 pool_size: Optional[int] = None, generations: Optional[int] = None,
+                 timeout_pairs: Optional[int] = None):
+        if not (1 <= effort <= 10):
+            raise ValueError("geqo_effort must be between 1 and 10")
+        self.effort = effort
+        self.seed = seed
+        self.pool_size = pool_size
+        self.generations = generations
+        #: Optional cap on the number of decoded join pairs, emulating the
+        #: 1-minute optimization timeout used in the paper's heuristic tables.
+        self.timeout_pairs = timeout_pairs
+
+    # ------------------------------------------------------------------ #
+    # PostgreSQL sizing formulas (geqo_pool_size / geqo_generations).
+    # ------------------------------------------------------------------ #
+    def _pool_size(self, n: int) -> int:
+        if self.pool_size is not None:
+            return self.pool_size
+        size = int(math.pow(2.0, self.effort + math.log(n) / math.log(2.0)))
+        return max(min(size, 1000), 10)
+
+    def _generations(self, n: int) -> int:
+        if self.generations is not None:
+            return self.generations
+        return self._pool_size(n)
+
+    # ------------------------------------------------------------------ #
+    def _run(self, query: QueryInfo, subset: int,
+             memo: MemoTable, stats: OptimizerStats) -> Plan:
+        vertices = bms.to_indices(subset)
+        n = len(vertices)
+        if n == 1:
+            return query.leaf_plan(vertices[0])
+        rng = random.Random(self.seed)
+
+        pool_size = self._pool_size(n)
+        generations = self._generations(n)
+
+        population: List[Tuple[float, List[int]]] = []
+        for _ in range(pool_size):
+            tour = vertices[:]
+            rng.shuffle(tour)
+            cost, _ = self._decode(query, subset, tour, stats)
+            population.append((cost, tour))
+        population.sort(key=lambda item: item[0])
+
+        for _ in range(generations):
+            if self.timeout_pairs is not None and stats.evaluated_pairs >= self.timeout_pairs:
+                break
+            mother = self._select(population, rng)
+            father = self._select(population, rng)
+            child = self._order_crossover(mother, father, rng)
+            if rng.random() < 0.05:
+                self._mutate(child, rng)
+            cost, _ = self._decode(query, subset, child, stats)
+            if cost < population[-1][0]:
+                population[-1] = (cost, child)
+                population.sort(key=lambda item: item[0])
+
+        best_cost, best_tour = population[0]
+        if math.isinf(best_cost):
+            raise OptimizationError("GEQO could not find a cross-product-free tour")
+        _, plan = self._decode(query, subset, best_tour, stats)
+        assert plan is not None
+        return plan
+
+    # ------------------------------------------------------------------ #
+    # Tour decoding (PostgreSQL's gimme_tree analogue)
+    # ------------------------------------------------------------------ #
+    def _decode(self, query: QueryInfo, subset: int, tour: Sequence[int],
+                stats: OptimizerStats) -> Tuple[float, Optional[Plan]]:
+        """Decode a tour into a join tree; returns (cost, plan).
+
+        Relations are consumed in tour order.  Each relation joins the first
+        existing subtree it is connected to (left-deep growth within a
+        subtree); otherwise it starts a new subtree.  Afterwards subtrees are
+        merged greedily, again only along join edges.  If the forest cannot be
+        reduced to a single tree without a cross product the tour is
+        infeasible and gets infinite cost.
+        """
+        graph = query.graph
+        forest: List[Tuple[int, Plan]] = []
+        for vertex in tour:
+            vertex_mask = bms.bit(vertex)
+            vertex_plan = query.leaf_plan(vertex)
+            attached = False
+            for index, (mask, plan) in enumerate(forest):
+                if graph.is_connected_to(mask, vertex_mask):
+                    stats.record_pair(bms.popcount(mask) + 1, is_ccp=True)
+                    joined = query.join(mask, vertex_mask, plan, vertex_plan)
+                    forest[index] = (mask | vertex_mask, joined)
+                    attached = True
+                    break
+            if not attached:
+                forest.append((vertex_mask, vertex_plan))
+
+        # Merge remaining subtrees along join edges.
+        merged = True
+        while len(forest) > 1 and merged:
+            merged = False
+            for i in range(len(forest)):
+                for j in range(i + 1, len(forest)):
+                    mask_i, plan_i = forest[i]
+                    mask_j, plan_j = forest[j]
+                    if graph.is_connected_to(mask_i, mask_j):
+                        stats.record_pair(bms.popcount(mask_i | mask_j), is_ccp=True)
+                        joined = query.join(mask_i, mask_j, plan_i, plan_j)
+                        forest[i] = (mask_i | mask_j, joined)
+                        del forest[j]
+                        merged = True
+                        break
+                if merged:
+                    break
+
+        if len(forest) != 1:
+            return math.inf, None
+        final_mask, final_plan = forest[0]
+        if final_mask != subset:
+            return math.inf, None
+        return final_plan.cost, final_plan
+
+    # ------------------------------------------------------------------ #
+    # Genetic operators
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _select(population: List[Tuple[float, List[int]]], rng: random.Random) -> List[int]:
+        """Linear-bias selection favouring fitter (cheaper) tours."""
+        size = len(population)
+        bias = 2.0
+        index = int(size * (bias - math.sqrt(bias * bias - 4.0 * (bias - 1.0) * rng.random())) / 2.0 / (bias - 1.0))
+        index = min(max(index, 0), size - 1)
+        return list(population[index][1])
+
+    @staticmethod
+    def _order_crossover(mother: List[int], father: List[int], rng: random.Random) -> List[int]:
+        """Order crossover (OX): keep a slice of the mother, fill from the father."""
+        n = len(mother)
+        start, end = sorted(rng.sample(range(n), 2)) if n > 2 else (0, n - 1)
+        child: List[Optional[int]] = [None] * n
+        child[start:end + 1] = mother[start:end + 1]
+        taken = set(mother[start:end + 1])
+        position = (end + 1) % n
+        for gene in father[end + 1:] + father[:end + 1]:
+            if gene in taken:
+                continue
+            child[position] = gene
+            position = (position + 1) % n
+        return [gene for gene in child if gene is not None]
+
+    @staticmethod
+    def _mutate(tour: List[int], rng: random.Random) -> None:
+        """Swap two random positions in place."""
+        if len(tour) < 2:
+            return
+        i, j = rng.sample(range(len(tour)), 2)
+        tour[i], tour[j] = tour[j], tour[i]

@@ -1,0 +1,124 @@
+"""UnionDP — the paper's novel graph-partitioning heuristic (Section 4.2).
+
+UnionDP handles queries far beyond MPDP's exact limit by exploiting the join
+graph's topology: it partitions the graph into fragments of at most ``k``
+relations, solves each fragment *optimally* with MPDP, collapses every
+fragment into a composite node, and recurses on the resulting contracted
+graph until the whole query fits in one MPDP invocation (Algorithm 4).
+
+The partition phase balances two requirements the paper spells out:
+
+1. partitions should be as close to ``k`` relations as possible (small
+   fragments waste optimization opportunities), and
+2. the *cut* edges left between partitions should be as expensive as
+   possible, so that costly joins end up near the root of the final plan.
+
+Both are served by the same greedy rule: edges are considered in increasing
+order of the combined size of the partitions at their endpoints (ties broken
+by increasing edge weight, where the weight is the cost-model cost of joining
+across the edge), and an edge's endpoints are unioned whenever the merged
+partition would not exceed ``k``.  A Union-Find structure maintains the
+partitions.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+from ..core import bitmapset as bms
+from ..core.counters import OptimizerStats
+from ..core.memo import MemoTable
+from ..core.plan import Plan
+from ..core.query import QueryInfo
+from ..core.unionfind import UnionFind
+from ..optimizers.base import JoinOrderOptimizer, OptimizationError
+from ..optimizers.mpdp import MPDP
+
+__all__ = ["UnionDP"]
+
+
+def _default_exact_factory() -> JoinOrderOptimizer:
+    return MPDP()
+
+
+class UnionDP(JoinOrderOptimizer):
+    """Partition the join graph, optimize fragments with MPDP, recurse."""
+
+    name = "UnionDP"
+    parallelizability = "high"
+    exact = False
+
+    def __init__(self, k: int = 15,
+                 exact_factory: Callable[[], JoinOrderOptimizer] = _default_exact_factory,
+                 max_rounds: int = 64):
+        if k < 2:
+            raise ValueError("UnionDP needs k >= 2")
+        self.k = k
+        self.exact_factory = exact_factory
+        self.max_rounds = max_rounds
+        self.name = f"UnionDP-{self.exact_factory().name} ({k})"
+
+    # ------------------------------------------------------------------ #
+    def _run(self, query: QueryInfo, subset: int,
+             memo: MemoTable, stats: OptimizerStats) -> Plan:
+        if subset != query.all_relations_mask:
+            raise OptimizationError("UnionDP optimizes whole queries only")
+        current = query
+        for _ in range(self.max_rounds):
+            if current.n_relations <= self.k:
+                result = self.exact_factory().optimize(current)
+                stats.merge(result.stats)
+                return result.plan
+
+            partitions = self._partition(current)
+            partition_plans: List[Plan] = []
+            for partition in partitions:
+                if bms.popcount(partition) == 1:
+                    partition_plans.append(current.leaf_plan(bms.lowest_bit_index(partition)))
+                    continue
+                result = self.exact_factory().optimize(current, subset=partition)
+                stats.merge(result.stats)
+                partition_plans.append(result.plan)
+            if len(partitions) == current.n_relations:
+                # No union was possible (every edge would overflow k); force
+                # progress by merging the two smallest adjacent partitions.
+                raise OptimizationError(
+                    "UnionDP could not reduce the query; k is too small for this graph"
+                )
+            current = current.contract(partitions, partition_plans)
+        raise OptimizationError("UnionDP did not converge within max_rounds")
+
+    # ------------------------------------------------------------------ #
+    def _partition(self, query: QueryInfo) -> List[int]:
+        """Partition phase of Algorithm 4: greedy unions bounded by ``k``."""
+        graph = query.graph
+        uf = UnionFind(graph.n_relations)
+        # Pre-compute edge weights once (cost of joining across the edge).
+        weighted_edges: List[Tuple[float, int, int]] = []
+        for edge in graph.edges:
+            weight = query.rows(bms.bit(edge.left) | bms.bit(edge.right))
+            weighted_edges.append((weight, edge.left, edge.right))
+
+        # Repeatedly pick the admissible edge with the smallest combined
+        # partition size (ties by increasing weight).  The combined sizes
+        # change as unions happen, so the choice is re-evaluated every round.
+        active = list(weighted_edges)
+        while True:
+            best_key: Tuple[int, float] | None = None
+            best_index = -1
+            for index, (weight, left, right) in enumerate(active):
+                if uf.connected(left, right):
+                    continue
+                combined = uf.set_size(left) + uf.set_size(right)
+                if combined > self.k:
+                    continue
+                key = (combined, weight)
+                if best_key is None or key < best_key:
+                    best_key = key
+                    best_index = index
+            if best_index < 0:
+                break
+            _, left, right = active.pop(best_index)
+            uf.union(left, right)
+
+        return uf.sets()

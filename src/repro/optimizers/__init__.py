@@ -1,0 +1,41 @@
+"""Exact join-order optimizers: the paper's baselines and MPDP.
+
+All classes implement :class:`~repro.optimizers.base.JoinOrderOptimizer` and
+can be used interchangeably; they differ in how many join pairs they evaluate
+(EvaluatedCounter vs CCP-Counter) and in how parallelizable their enumeration
+is, which is exactly the trade-off Figure 2 of the paper maps out.
+"""
+
+from .base import JoinOrderOptimizer, OptimizationError, PlanResult
+from .dpsize import DPSize
+from .dpsub import DPSub
+from .dpccp import DPCcp, enumerate_csg_cmp_pairs
+from .pdp import PDP
+from .dpe import DPE
+from .mpdp import MPDP, MPDPTree
+
+#: Registry of exact optimizers by canonical name (used by the bench harness).
+EXACT_OPTIMIZERS = {
+    "DPsize": DPSize,
+    "DPsub": DPSub,
+    "DPccp": DPCcp,
+    "PDP": PDP,
+    "DPE": DPE,
+    "MPDP": MPDP,
+    "MPDP:Tree": MPDPTree,
+}
+
+__all__ = [
+    "JoinOrderOptimizer",
+    "OptimizationError",
+    "PlanResult",
+    "DPSize",
+    "DPSub",
+    "DPCcp",
+    "enumerate_csg_cmp_pairs",
+    "PDP",
+    "DPE",
+    "MPDP",
+    "MPDPTree",
+    "EXACT_OPTIMIZERS",
+]

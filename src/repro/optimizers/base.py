@@ -1,0 +1,133 @@
+"""Optimizer interface shared by every exact algorithm and heuristic.
+
+All join-order optimizers in the repository implement
+:class:`JoinOrderOptimizer`.  The contract is:
+
+* input: a :class:`~repro.core.query.QueryInfo` and, optionally, a vertex
+  bitmap restricting optimization to a connected sub-query (used by IDP2,
+  UnionDP and LinDP when they optimize fragments);
+* output: a :class:`PlanResult` bundling the chosen plan, its cost under the
+  query's cost model, and an :class:`~repro.core.counters.OptimizerStats`
+  record with the EvaluatedCounter / CCP-Counter instrumentation every figure
+  of the paper is computed from.
+
+The base class takes care of timing, leaf-plan initialisation and result
+packaging, so concrete algorithms only implement :meth:`_run`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Optional
+
+from ..core import bitmapset as bms
+from ..core.connectivity import is_connected
+from ..core.counters import OptimizerStats, Stopwatch
+from ..core.memo import MemoTable
+from ..core.plan import Plan
+from ..core.query import QueryInfo
+
+__all__ = ["PlanResult", "JoinOrderOptimizer", "OptimizationError"]
+
+
+class OptimizationError(RuntimeError):
+    """Raised when an optimizer cannot produce a plan for the query."""
+
+
+@dataclass
+class PlanResult:
+    """The outcome of one optimization run."""
+
+    plan: Plan
+    cost: float
+    stats: OptimizerStats
+    memo: Optional[MemoTable] = None
+
+    @property
+    def algorithm(self) -> str:
+        return self.stats.algorithm
+
+
+class JoinOrderOptimizer(ABC):
+    """Base class for join-order optimizers (exact and heuristic)."""
+
+    #: Human-readable name used in reports (e.g. ``"MPDP"``).
+    name: str = "abstract"
+    #: Parallelizability class from Figure 2: "sequential", "medium" or "high".
+    parallelizability: str = "sequential"
+    #: True for algorithms guaranteed to find the optimal cross-product-free plan.
+    exact: bool = True
+
+    # ------------------------------------------------------------------ #
+    # Template method
+    # ------------------------------------------------------------------ #
+    def optimize(self, query: QueryInfo, subset: Optional[int] = None) -> PlanResult:
+        """Optimize ``query`` (or the sub-query induced by ``subset``).
+
+        Args:
+            query: the query to optimize.
+            subset: optional vertex bitmap; when given, only those vertices
+                are join-ordered.  The induced subgraph must be connected
+                (cross products are never considered, matching the paper).
+
+        Returns:
+            A :class:`PlanResult`.
+
+        Raises:
+            OptimizationError: if the (sub)query's join graph is disconnected.
+        """
+        if subset is None:
+            subset = query.all_relations_mask
+        if subset == 0:
+            raise OptimizationError("cannot optimize an empty set of relations")
+        if not bms.is_subset(subset, query.all_relations_mask):
+            raise OptimizationError("subset contains vertices outside the query")
+        if not is_connected(query.graph, subset):
+            raise OptimizationError(
+                f"{self.name}: the join graph induced by {bms.format_set(subset)} is "
+                "disconnected; cross products are not supported"
+            )
+
+        stats = OptimizerStats(algorithm=self.name)
+        memo = MemoTable()
+        self._init_leaves(query, subset, memo, stats)
+        with Stopwatch() as watch:
+            plan = self._run(query, subset, memo, stats)
+        stats.wall_time_seconds = watch.elapsed
+        if plan is None:
+            raise OptimizationError(f"{self.name} failed to find a plan")
+        stats.memo_entries = len(memo)
+        stats.plan_cost = plan.cost
+        return PlanResult(plan=plan, cost=plan.cost, stats=stats, memo=memo)
+
+    def _init_leaves(self, query: QueryInfo, subset: int,
+                     memo: MemoTable, stats: OptimizerStats) -> None:
+        """Seed the memo with the access plan of every vertex in ``subset``."""
+        for vertex in bms.iter_bits(subset):
+            memo.put(bms.bit(vertex), query.leaf_plan(vertex))
+
+    @abstractmethod
+    def _run(self, query: QueryInfo, subset: int,
+             memo: MemoTable, stats: OptimizerStats) -> Plan:
+        """Run the algorithm and return the best plan for ``subset``."""
+
+    # ------------------------------------------------------------------ #
+    # Shared helpers
+    # ------------------------------------------------------------------ #
+    def _evaluate_pair(self, query: QueryInfo, memo: MemoTable, stats: OptimizerStats,
+                       level: int, left: int, right: int) -> bool:
+        """Cost the CCP-Pair ``(left, right)`` and update the memo.
+
+        Assumes validity was already established by the caller; records the
+        pair as a CCP pair, builds the join and updates ``BestPlan(S)``.
+        Returns True when the memo entry improved.
+        """
+        stats.record_pair(level, is_ccp=True)
+        left_plan = memo[left]
+        right_plan = memo[right]
+        plan = query.join(left, right, left_plan, right_plan)
+        return memo.put(left | right, plan)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(name={self.name!r})"

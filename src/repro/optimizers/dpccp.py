@@ -1,0 +1,132 @@
+"""DPccp — csg-cmp-pair driven dynamic programming (Moerkotte & Neumann 2006).
+
+DPccp enumerates exactly the connected-subgraph / connected-complement pairs
+of the join graph, in an order compatible with dynamic programming (every
+proper connected subset is planned before the sets containing it).  It never
+evaluates an invalid join pair — EvaluatedCounter equals CCP-Counter — which
+makes it the most efficient *sequential* enumeration; the flip side, stressed
+by the paper, is that the recursive neighbourhood expansion creates
+dependencies between consecutively emitted pairs, which is why DPccp (and its
+parallelization DPE) cannot exploit massive parallelism.
+
+The implementation follows the original EnumerateCsg / EnumerateCsgRec /
+EnumerateCmp formulation, generalised to run on an arbitrary connected subset
+of the query's vertices (needed when heuristics call it on fragments).
+Both join orders of every emitted pair are costed, so the symmetric-pair
+counting convention matches DPsub and MPDP.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Tuple
+
+from ..core import bitmapset as bms
+from ..core.counters import OptimizerStats
+from ..core.memo import MemoTable
+from ..core.plan import Plan
+from ..core.query import QueryInfo
+from .base import JoinOrderOptimizer
+
+__all__ = ["DPCcp", "enumerate_csg_cmp_pairs"]
+
+
+def _neighbourhood(query: QueryInfo, subset_mask: int, of: int) -> int:
+    """Neighbours of ``of`` inside the optimized subset, excluding ``of``."""
+    return query.graph.neighbours_of_set(of) & subset_mask
+
+
+def _enumerate_csg_rec(query: QueryInfo, subset_mask: int,
+                       current: int, excluded: int) -> Iterator[int]:
+    """EnumerateCsgRec: grow ``current`` by subsets of its free neighbourhood."""
+    neighbours = _neighbourhood(query, subset_mask, current) & ~excluded
+    if neighbours == 0:
+        return
+    for extension in bms.iter_proper_nonempty_subsets(neighbours):
+        yield current | extension
+    yield current | neighbours
+    new_excluded = excluded | neighbours
+    for extension in bms.iter_proper_nonempty_subsets(neighbours):
+        yield from _enumerate_csg_rec(query, subset_mask, current | extension, new_excluded)
+    yield from _enumerate_csg_rec(query, subset_mask, current | neighbours, new_excluded)
+
+
+def _enumerate_csg(query: QueryInfo, subset_mask: int,
+                   order: List[int]) -> Iterator[int]:
+    """EnumerateCsg: every connected subgraph, each exactly once."""
+    position = {vertex: index for index, vertex in enumerate(order)}
+    for index in range(len(order) - 1, -1, -1):
+        vertex = order[index]
+        start = bms.bit(vertex)
+        yield start
+        forbidden = bms.from_indices(order[: index + 1])
+        yield from _enumerate_csg_rec(query, subset_mask, start, forbidden)
+
+
+def _enumerate_cmp(query: QueryInfo, subset_mask: int, order: List[int],
+                   csg: int) -> Iterator[int]:
+    """EnumerateCmp: every connected complement of ``csg``, each exactly once."""
+    position = {vertex: index for index, vertex in enumerate(order)}
+    min_position = min(position[v] for v in bms.iter_bits(csg))
+    below_min = bms.from_indices(order[: min_position + 1])
+    excluded = below_min | csg
+    neighbours = _neighbourhood(query, subset_mask, csg) & ~excluded
+    if neighbours == 0:
+        return
+    neighbour_list = sorted(bms.iter_bits(neighbours), key=lambda v: position[v], reverse=True)
+    for vertex in neighbour_list:
+        start = bms.bit(vertex)
+        yield start
+        lower_neighbours = bms.from_indices(
+            v for v in bms.iter_bits(neighbours) if position[v] <= position[vertex]
+        )
+        yield from _enumerate_csg_rec(query, subset_mask, start, excluded | lower_neighbours)
+
+
+def enumerate_csg_cmp_pairs(query: QueryInfo, subset_mask: int) -> Iterator[Tuple[int, int]]:
+    """Yield every csg-cmp pair of the subgraph induced by ``subset_mask``.
+
+    Each unordered valid pair ``{S1, S2}`` is produced exactly once, as
+    ``(S1, S2)`` with ``S1`` the earlier-enumerated connected subgraph.  The
+    enumeration respects DP ordering: when a pair is emitted, every connected
+    proper subset of either side has already appeared as the first component
+    of some earlier pair (or is a single vertex).
+    """
+    order = bms.to_indices(subset_mask)
+    for csg in _enumerate_csg(query, subset_mask, order):
+        for cmp_set in _enumerate_cmp(query, subset_mask, order, csg):
+            yield csg, cmp_set
+
+
+class DPCcp(JoinOrderOptimizer):
+    """Optimal DP that enumerates only valid csg-cmp pairs."""
+
+    name = "DPccp"
+    parallelizability = "sequential"
+    exact = True
+
+    def _run(self, query: QueryInfo, subset: int,
+             memo: MemoTable, stats: OptimizerStats) -> Plan:
+        # Buffer the csg-cmp pairs and process them level by level (size of the
+        # combined set).  The original recursive emission order already
+        # respects DP dependencies; sorting by level makes that property
+        # explicit and is also the grouping DPE's dependency-aware buffer uses.
+        pairs = sorted(
+            enumerate_csg_cmp_pairs(query, subset),
+            key=lambda pair: bms.popcount(pair[0] | pair[1]),
+        )
+        for left, right in pairs:
+            combined = left | right
+            level = bms.popcount(combined)
+            if combined not in memo:
+                stats.record_set(level, connected=True)
+            left_plan = memo[left]
+            right_plan = memo[right]
+            # Cost both join orders; the counters treat them as two evaluated
+            # (and valid) pairs so that CCP-Counter matches the symmetric
+            # convention used by the paper and by DPsub/MPDP.
+            stats.record_pair(level, is_ccp=True)
+            memo.put(combined, query.join(left, right, left_plan, right_plan))
+            stats.record_pair(level, is_ccp=True)
+            memo.put(combined, query.join(right, left, right_plan, left_plan))
+
+        return memo[subset]

@@ -1,0 +1,5 @@
+"""Multi-core CPU parallel-time models (MPDP CPU, PDP, DPE)."""
+
+from .model import CPUCostConstants, ParallelCPUModel, speedup_curve
+
+__all__ = ["CPUCostConstants", "ParallelCPUModel", "speedup_curve"]

@@ -1,0 +1,5 @@
+"""Minimal SQL front end for inner-equi-join queries."""
+
+from .parser import ParsedQuery, SQLParseError, parse_join_query
+
+__all__ = ["ParsedQuery", "SQLParseError", "parse_join_query"]

@@ -1,0 +1,182 @@
+"""Minimal SQL front end for join queries.
+
+The paper's running example (Figure 1) is an ordinary SELECT-FROM-WHERE query
+whose WHERE clause is a conjunction of inner equi-join predicates.  This
+module parses exactly that class of queries — enough to turn the example and
+the generated workload queries into :class:`~repro.core.query.QueryInfo`
+objects against a :class:`~repro.catalog.Catalog`:
+
+* ``FROM`` items: ``table`` or ``table alias`` or ``table AS alias``;
+* ``WHERE`` conjuncts joined by ``AND``:
+  * equi-join predicates ``a.x = b.y`` become join-graph edges whose
+    selectivity comes from the catalog's distinct counts,
+  * simple filter predicates (``a.x = 42``, ``a.x < 42``, ``a.x LIKE '...'``)
+    scale the relation's base cardinality with textbook default selectivities
+    (1/NDV for equality, 1/3 for range, 1/10 for LIKE).
+
+Anything else (outer joins, subqueries, OR, ...) raises :class:`SQLParseError`
+— handling hypergraph-producing predicates is future work in the paper too.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..catalog.schema import Catalog
+from ..core.joingraph import JoinGraph
+from ..core.query import QueryInfo
+from ..cost.base import CostModel
+from ..cost.postgres import PostgresCostModel
+
+__all__ = ["SQLParseError", "ParsedQuery", "parse_join_query"]
+
+#: Default selectivities for filter predicates when no histogram is available.
+_EQUALITY_DEFAULT = None  # 1 / NDV, resolved against the catalog
+_RANGE_SELECTIVITY = 1.0 / 3.0
+_LIKE_SELECTIVITY = 0.1
+
+
+class SQLParseError(ValueError):
+    """Raised when the query text is not a plain inner-equi-join query."""
+
+
+@dataclass
+class ParsedQuery:
+    """Outcome of parsing: the query plus what was recognised in the text."""
+
+    query: QueryInfo
+    aliases: Dict[str, str] = field(default_factory=dict)
+    join_predicates: List[str] = field(default_factory=list)
+    filter_predicates: List[str] = field(default_factory=list)
+
+
+_FROM_RE = re.compile(r"\bfrom\b(.*?)(?:\bwhere\b|$)", re.IGNORECASE | re.DOTALL)
+_WHERE_RE = re.compile(r"\bwhere\b(.*)$", re.IGNORECASE | re.DOTALL)
+_COLUMN_RE = re.compile(r"^([A-Za-z_][\w]*)\.([A-Za-z_][\w]*)$")
+_JOIN_PRED_RE = re.compile(
+    r"^([A-Za-z_][\w]*\.[A-Za-z_][\w]*)\s*=\s*([A-Za-z_][\w]*\.[A-Za-z_][\w]*)$")
+_FILTER_PRED_RE = re.compile(
+    r"^([A-Za-z_][\w]*\.[A-Za-z_][\w]*)\s*(=|<|>|<=|>=|like)\s*(.+)$", re.IGNORECASE)
+
+
+def _split_conjuncts(where_text: str) -> List[str]:
+    if re.search(r"\bor\b", where_text, re.IGNORECASE):
+        raise SQLParseError("only conjunctive (AND) predicates are supported")
+    parts = re.split(r"\band\b", where_text, flags=re.IGNORECASE)
+    return [part.strip() for part in parts if part.strip()]
+
+
+def _parse_from(sql: str) -> List[Tuple[str, str]]:
+    """Return ``(table, alias)`` pairs from the FROM clause."""
+    match = _FROM_RE.search(sql)
+    if not match:
+        raise SQLParseError("query has no FROM clause")
+    items = [item.strip() for item in match.group(1).split(",") if item.strip()]
+    if not items:
+        raise SQLParseError("FROM clause lists no tables")
+    result: List[Tuple[str, str]] = []
+    for item in items:
+        if re.search(r"\bjoin\b", item, re.IGNORECASE):
+            raise SQLParseError("explicit JOIN syntax is not supported; list tables in FROM")
+        tokens = re.split(r"\s+as\s+|\s+", item.strip(), flags=re.IGNORECASE)
+        tokens = [token for token in tokens if token]
+        if len(tokens) == 1:
+            result.append((tokens[0].lower(), tokens[0].lower()))
+        elif len(tokens) == 2:
+            result.append((tokens[0].lower(), tokens[1].lower()))
+        else:
+            raise SQLParseError(f"cannot parse FROM item {item!r}")
+    return result
+
+
+def parse_join_query(sql: str, catalog: Catalog,
+                     cost_model: Optional[CostModel] = None,
+                     name: Optional[str] = None) -> ParsedQuery:
+    """Parse an inner-equi-join SQL query into a :class:`QueryInfo`.
+
+    Args:
+        sql: the query text (SELECT list is ignored; only FROM/WHERE matter).
+        catalog: catalog resolving table names, row counts and distinct counts.
+        cost_model: cost model for the resulting query (PostgreSQL-like by
+            default).
+        name: optional query name.
+
+    Raises:
+        SQLParseError: when the query is not in the supported fragment or
+            references unknown tables/columns.
+    """
+    from_items = _parse_from(sql)
+    alias_to_table: Dict[str, str] = {}
+    for table_name, alias in from_items:
+        if not catalog.has_table(table_name):
+            raise SQLParseError(f"unknown table {table_name!r}")
+        if alias in alias_to_table:
+            raise SQLParseError(f"duplicate alias {alias!r}")
+        alias_to_table[alias] = table_name
+
+    aliases = list(alias_to_table)
+    index_of = {alias: position for position, alias in enumerate(aliases)}
+    graph = JoinGraph(len(aliases), aliases)
+    base_rows: List[float] = [catalog.table(alias_to_table[alias]).rows for alias in aliases]
+
+    join_predicates: List[str] = []
+    filter_predicates: List[str] = []
+
+    where_match = _WHERE_RE.search(sql)
+    conjuncts = _split_conjuncts(where_match.group(1)) if where_match else []
+    for conjunct in conjuncts:
+        join_match = _JOIN_PRED_RE.match(conjunct)
+        if join_match:
+            left_alias, left_column = _resolve_column(join_match.group(1), alias_to_table, catalog)
+            right_alias, right_column = _resolve_column(join_match.group(2), alias_to_table, catalog)
+            if left_alias == right_alias:
+                raise SQLParseError(f"self-join predicate not supported: {conjunct!r}")
+            selectivity = catalog.join_selectivity(
+                alias_to_table[left_alias], left_column,
+                alias_to_table[right_alias], right_column)
+            is_pk_fk = catalog.is_pk_fk_join(
+                alias_to_table[left_alias], left_column,
+                alias_to_table[right_alias], right_column)
+            graph.add_edge(index_of[left_alias], index_of[right_alias],
+                           selectivity=selectivity, predicate=conjunct, is_pk_fk=is_pk_fk)
+            join_predicates.append(conjunct)
+            continue
+        filter_match = _FILTER_PRED_RE.match(conjunct)
+        if filter_match:
+            alias, column = _resolve_column(filter_match.group(1), alias_to_table, catalog)
+            operator = filter_match.group(2).lower()
+            table = catalog.table(alias_to_table[alias])
+            if operator == "=":
+                selectivity = 1.0 / table.column(column).n_distinct
+            elif operator == "like":
+                selectivity = _LIKE_SELECTIVITY
+            else:
+                selectivity = _RANGE_SELECTIVITY
+            base_rows[index_of[alias]] = max(1.0, base_rows[index_of[alias]] * selectivity)
+            filter_predicates.append(conjunct)
+            continue
+        raise SQLParseError(f"unsupported predicate: {conjunct!r}")
+
+    query = QueryInfo(graph, base_rows, cost_model or PostgresCostModel(),
+                      name=name or "sql_query")
+    return ParsedQuery(query=query, aliases=alias_to_table,
+                       join_predicates=join_predicates,
+                       filter_predicates=filter_predicates)
+
+
+def _resolve_column(text: str, alias_to_table: Dict[str, str],
+                    catalog: Catalog) -> Tuple[str, str]:
+    match = _COLUMN_RE.match(text.strip())
+    if not match:
+        raise SQLParseError(f"expected alias.column, got {text!r}")
+    alias, column = match.group(1).lower(), match.group(2).lower()
+    if alias not in alias_to_table:
+        raise SQLParseError(f"unknown alias {alias!r}")
+    table = catalog.table(alias_to_table[alias])
+    if column not in table.columns:
+        # Columns referenced only in queries are registered lazily with a
+        # default distinct count — real systems would ANALYZE them.
+        table.add_column(column)
+    return alias, column

@@ -1,0 +1,35 @@
+"""Workload generators: synthetic topologies, MusicBrainz-like and JOB-like queries."""
+
+from .synthetic import (
+    chain_query,
+    clique_query,
+    cycle_query,
+    random_connected_query,
+    snowflake_query,
+    star_query,
+)
+from .musicbrainz import (
+    MusicBrainzWorkload,
+    build_musicbrainz_catalog,
+    musicbrainz_query,
+)
+from .job import build_imdb_catalog, job_query, job_query_suite
+from .tpch import build_tpch_catalog, figure1_query, tpch_join_query
+
+__all__ = [
+    "star_query",
+    "snowflake_query",
+    "chain_query",
+    "cycle_query",
+    "clique_query",
+    "random_connected_query",
+    "MusicBrainzWorkload",
+    "build_musicbrainz_catalog",
+    "musicbrainz_query",
+    "build_imdb_catalog",
+    "job_query",
+    "job_query_suite",
+    "build_tpch_catalog",
+    "figure1_query",
+    "tpch_join_query",
+]

@@ -1,0 +1,236 @@
+"""Synthetic workload generators: star, snowflake, chain, cycle, clique.
+
+Section 7.2.1 of the paper evaluates the exact algorithms on synthetic queries
+whose join graphs follow the standard analytical topologies; Section 7.3 uses
+the star and snowflake schemas (with selections) for the heuristic-quality
+tables.  The generators here produce :class:`~repro.core.query.QueryInfo`
+objects with:
+
+* the requested join-graph topology,
+* realistic base-table cardinalities (a large fact table, smaller dimensions,
+  log-uniformly distributed),
+* PK-FK selectivities (``1 / rows(dimension)``) for PK-FK edges, and
+  weaker, skewed selectivities for non-PK-FK edges,
+* optional pushed-down selections that scale base cardinalities so that
+  different join orders genuinely differ in cost (this is how the paper makes
+  the star-schema heuristic comparison meaningful).
+
+All generators are deterministic given a seed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Tuple
+
+from ..core.joingraph import JoinGraph
+from ..core.query import QueryInfo
+from ..cost.base import CostModel
+from ..cost.postgres import PostgresCostModel
+
+__all__ = [
+    "star_query",
+    "snowflake_query",
+    "chain_query",
+    "cycle_query",
+    "clique_query",
+    "random_connected_query",
+]
+
+
+def _rng(seed: Optional[int]) -> random.Random:
+    return random.Random(seed if seed is not None else 0)
+
+
+def _dimension_rows(rng: random.Random, low: float = 1e3, high: float = 1e6) -> float:
+    """Log-uniform dimension-table cardinality."""
+    import math
+
+    return float(int(math.exp(rng.uniform(math.log(low), math.log(high)))))
+
+
+def _apply_selection(rng: random.Random, rows: float, probability: float) -> float:
+    """With the given probability, apply a pushed-down selection to a table."""
+    if rng.random() < probability:
+        return max(1.0, rows * rng.uniform(0.001, 0.5))
+    return rows
+
+
+def star_query(
+    n_relations: int,
+    fact_rows: float = 1e7,
+    seed: Optional[int] = None,
+    selection_probability: float = 0.5,
+    cost_model: Optional[CostModel] = None,
+    name: Optional[str] = None,
+) -> QueryInfo:
+    """A star query: relation 0 is the fact table, every other joins to it.
+
+    Every edge is a PK-FK join from the fact table's foreign key to the
+    dimension's primary key, so its selectivity is ``1 / rows(dimension)``
+    (measured before selections, as PostgreSQL would estimate from the
+    catalog's distinct counts).
+    """
+    if n_relations < 2:
+        raise ValueError("a star query needs at least two relations")
+    rng = _rng(seed)
+    graph = JoinGraph(n_relations, ["fact"] + [f"dim{i}" for i in range(1, n_relations)])
+    base_rows: List[float] = [fact_rows]
+    for dim in range(1, n_relations):
+        dim_rows = _dimension_rows(rng)
+        selectivity = 1.0 / dim_rows
+        graph.add_edge(0, dim, selectivity=selectivity,
+                       predicate=f"fact.fk{dim} = dim{dim}.pk", is_pk_fk=True)
+        base_rows.append(_apply_selection(rng, dim_rows, selection_probability))
+    return QueryInfo(graph, base_rows, cost_model or PostgresCostModel(),
+                     name=name or f"star_{n_relations}")
+
+
+def snowflake_query(
+    n_relations: int,
+    fact_rows: float = 1e7,
+    branching: int = 3,
+    max_depth: int = 4,
+    seed: Optional[int] = None,
+    selection_probability: float = 0.3,
+    cost_model: Optional[CostModel] = None,
+    name: Optional[str] = None,
+) -> QueryInfo:
+    """A snowflake query: a fact table with dimension chains up to ``max_depth``.
+
+    Relations are attached breadth-first: the fact table gets ``branching``
+    direct dimensions, each dimension gets up to ``branching`` sub-dimensions,
+    and so on until ``n_relations`` tables exist or ``max_depth`` is reached
+    (the paper's snowflake generator uses a maximum depth of 4).  Every edge
+    is a PK-FK join to the child's primary key.
+    """
+    if n_relations < 2:
+        raise ValueError("a snowflake query needs at least two relations")
+    rng = _rng(seed)
+    names = ["fact"] + [f"dim{i}" for i in range(1, n_relations)]
+    graph = JoinGraph(n_relations, names)
+    base_rows: List[float] = [fact_rows]
+
+    depth_of = {0: 0}
+    frontier = [0]
+    next_relation = 1
+    while next_relation < n_relations:
+        if not frontier:
+            # All frontier nodes exhausted their branching; restart from the
+            # shallowest nodes to keep attaching (wider snowflake).
+            frontier = [v for v, d in depth_of.items() if d < max_depth]
+            if not frontier:
+                frontier = [0]
+        parent = frontier.pop(0)
+        children = 0
+        while children < branching and next_relation < n_relations:
+            child = next_relation
+            child_rows = _dimension_rows(rng)
+            graph.add_edge(parent, child, selectivity=1.0 / child_rows,
+                           predicate=f"{names[parent]}.fk = {names[child]}.pk",
+                           is_pk_fk=True)
+            base_rows.append(_apply_selection(rng, child_rows, selection_probability))
+            child_depth = depth_of[parent] + 1
+            depth_of[child] = child_depth
+            if child_depth < max_depth:
+                frontier.append(child)
+            next_relation += 1
+            children += 1
+    return QueryInfo(graph, base_rows, cost_model or PostgresCostModel(),
+                     name=name or f"snowflake_{n_relations}")
+
+
+def chain_query(
+    n_relations: int,
+    seed: Optional[int] = None,
+    cost_model: Optional[CostModel] = None,
+    name: Optional[str] = None,
+) -> QueryInfo:
+    """A chain query: relation ``i`` joins relation ``i+1``."""
+    if n_relations < 2:
+        raise ValueError("a chain query needs at least two relations")
+    rng = _rng(seed)
+    graph = JoinGraph(n_relations)
+    base_rows = [_dimension_rows(rng, 1e4, 1e7) for _ in range(n_relations)]
+    for i in range(n_relations - 1):
+        selectivity = 1.0 / max(min(base_rows[i], base_rows[i + 1]), 1.0)
+        graph.add_edge(i, i + 1, selectivity=selectivity, is_pk_fk=True)
+    return QueryInfo(graph, base_rows, cost_model or PostgresCostModel(),
+                     name=name or f"chain_{n_relations}")
+
+
+def cycle_query(
+    n_relations: int,
+    seed: Optional[int] = None,
+    cost_model: Optional[CostModel] = None,
+    name: Optional[str] = None,
+) -> QueryInfo:
+    """A cycle query: a chain whose last relation also joins the first."""
+    if n_relations < 3:
+        raise ValueError("a cycle query needs at least three relations")
+    query = chain_query(n_relations, seed=seed, cost_model=cost_model,
+                        name=name or f"cycle_{n_relations}")
+    rows = query.cardinality.base_cardinalities
+    selectivity = 1.0 / max(min(rows[0], rows[-1]), 1.0)
+    query.graph.add_edge(0, n_relations - 1, selectivity=selectivity)
+    query.cardinality.invalidate()
+    return query
+
+
+def clique_query(
+    n_relations: int,
+    seed: Optional[int] = None,
+    cost_model: Optional[CostModel] = None,
+    name: Optional[str] = None,
+) -> QueryInfo:
+    """A clique query: every relation joins every other relation.
+
+    Clique graphs make every Join-Pair valid (Section 7.2.1), so they capture
+    the cross-join scenario where pruning cannot help and only raw parallelism
+    matters.
+    """
+    if n_relations < 2:
+        raise ValueError("a clique query needs at least two relations")
+    rng = _rng(seed)
+    graph = JoinGraph(n_relations)
+    base_rows = [_dimension_rows(rng, 1e3, 1e6) for _ in range(n_relations)]
+    for i in range(n_relations):
+        for j in range(i + 1, n_relations):
+            selectivity = rng.uniform(0.5, 1.0) / max(min(base_rows[i], base_rows[j]), 1.0)
+            graph.add_edge(i, j, selectivity=min(selectivity, 1.0))
+    return QueryInfo(graph, base_rows, cost_model or PostgresCostModel(),
+                     name=name or f"clique_{n_relations}")
+
+
+def random_connected_query(
+    n_relations: int,
+    extra_edge_probability: float = 0.2,
+    seed: Optional[int] = None,
+    cost_model: Optional[CostModel] = None,
+    name: Optional[str] = None,
+) -> QueryInfo:
+    """A random connected query: a random spanning tree plus extra edges.
+
+    Useful for property-based tests — the topology exercises both the tree
+    path (bridges) and the block decomposition (cycles) of MPDP.
+    """
+    if n_relations < 1:
+        raise ValueError("need at least one relation")
+    rng = _rng(seed)
+    graph = JoinGraph(n_relations)
+    base_rows = [_dimension_rows(rng, 1e3, 1e6) for _ in range(n_relations)]
+    # Random spanning tree: attach each new vertex to a random earlier one.
+    for vertex in range(1, n_relations):
+        parent = rng.randrange(vertex)
+        selectivity = 1.0 / max(min(base_rows[vertex], base_rows[parent]), 1.0)
+        graph.add_edge(parent, vertex, selectivity=selectivity, is_pk_fk=True)
+    # Extra edges create cycles.
+    for i in range(n_relations):
+        for j in range(i + 1, n_relations):
+            if graph.has_edge(i, j):
+                continue
+            if rng.random() < extra_edge_probability:
+                selectivity = rng.uniform(1e-6, 1e-2)
+                graph.add_edge(i, j, selectivity=selectivity)
+    return QueryInfo(graph, base_rows, cost_model or PostgresCostModel(),
+                     name=name or f"random_{n_relations}")

@@ -1,0 +1,125 @@
+"""TPC-H style workload.
+
+The paper's running example (Figure 1) is a TPC-H query joining ``lineitem``,
+``orders``, ``part`` and ``customer``.  This module provides the TPC-H catalog
+(the eight standard tables with scale-factor-1 cardinalities and their PK-FK
+relationships) plus helpers that build the Figure 1 query and larger TPC-H
+style join queries, so examples and tests can work against a familiar schema
+without shipping any data.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Tuple
+
+from ..catalog.schema import Catalog
+from ..core.joingraph import JoinGraph
+from ..core.query import QueryInfo
+from ..cost.base import CostModel
+from ..cost.postgres import PostgresCostModel
+
+__all__ = ["build_tpch_catalog", "TPCH_FOREIGN_KEYS", "figure1_query", "tpch_join_query"]
+
+#: (table, rows at scale factor 1).
+_TPCH_TABLES: List[Tuple[str, float]] = [
+    ("region", 5),
+    ("nation", 25),
+    ("supplier", 10_000),
+    ("customer", 150_000),
+    ("part", 200_000),
+    ("partsupp", 800_000),
+    ("orders", 1_500_000),
+    ("lineitem", 6_001_215),
+]
+
+#: (child, child column, parent, parent column).
+TPCH_FOREIGN_KEYS: List[Tuple[str, str, str, str]] = [
+    ("nation", "n_regionkey", "region", "r_regionkey"),
+    ("supplier", "s_nationkey", "nation", "n_nationkey"),
+    ("customer", "c_nationkey", "nation", "n_nationkey"),
+    ("partsupp", "ps_partkey", "part", "p_partkey"),
+    ("partsupp", "ps_suppkey", "supplier", "s_suppkey"),
+    ("orders", "o_custkey", "customer", "c_custkey"),
+    ("lineitem", "l_orderkey", "orders", "o_orderkey"),
+    ("lineitem", "l_partkey", "part", "p_partkey"),
+    ("lineitem", "l_suppkey", "supplier", "s_suppkey"),
+]
+
+_PRIMARY_KEYS = {
+    "region": "r_regionkey",
+    "nation": "n_nationkey",
+    "supplier": "s_suppkey",
+    "customer": "c_custkey",
+    "part": "p_partkey",
+    "partsupp": "ps_partkey",
+    "orders": "o_orderkey",
+    "lineitem": "l_orderkey",
+}
+
+
+def build_tpch_catalog(scale_factor: float = 1.0) -> Catalog:
+    """Build the TPC-H catalog at the given scale factor."""
+    if scale_factor <= 0:
+        raise ValueError("scale_factor must be positive")
+    catalog = Catalog()
+    for name, rows in _TPCH_TABLES:
+        scaled = rows if name in ("region", "nation") else rows * scale_factor
+        table = catalog.add_table(name, max(scaled, 1.0))
+        table.add_column(_PRIMARY_KEYS[name], is_primary_key=True)
+    for child, column, parent, parent_column in TPCH_FOREIGN_KEYS:
+        child_table = catalog.table(child)
+        parent_rows = catalog.table(parent).rows
+        if column not in child_table.columns:
+            child_table.add_column(column, n_distinct=min(child_table.rows, parent_rows))
+        catalog.add_foreign_key(child, column, parent, parent_column)
+    return catalog
+
+
+def _query_from_tables(catalog: Catalog, tables: List[str],
+                       cost_model: Optional[CostModel], name: str) -> QueryInfo:
+    index_of = {table: position for position, table in enumerate(tables)}
+    graph = JoinGraph(len(tables), tables)
+    base_rows = [catalog.table(table).rows for table in tables]
+    chosen = set(tables)
+    for child, column, parent, parent_column in TPCH_FOREIGN_KEYS:
+        if child in chosen and parent in chosen:
+            selectivity = catalog.join_selectivity(child, column, parent, parent_column)
+            graph.add_edge(index_of[child], index_of[parent], selectivity=selectivity,
+                           predicate=f"{child}.{column} = {parent}.{parent_column}",
+                           is_pk_fk=True)
+    return QueryInfo(graph, base_rows, cost_model or PostgresCostModel(), name=name)
+
+
+def figure1_query(catalog: Optional[Catalog] = None,
+                  cost_model: Optional[CostModel] = None) -> QueryInfo:
+    """The paper's Figure 1 query: lineitem ⋈ orders ⋈ part ⋈ customer."""
+    catalog = catalog or build_tpch_catalog()
+    return _query_from_tables(catalog, ["lineitem", "orders", "part", "customer"],
+                              cost_model, name="tpch_figure1")
+
+
+def tpch_join_query(n_relations: int, seed: int = 0,
+                    cost_model: Optional[CostModel] = None) -> QueryInfo:
+    """A TPC-H style join query over ``n_relations`` of the eight tables.
+
+    Tables are added by walking the PK-FK graph from ``lineitem`` so that the
+    join graph is always connected (the natural shape of TPC-H queries).
+    """
+    if not (2 <= n_relations <= len(_TPCH_TABLES)):
+        raise ValueError(f"TPC-H queries support 2..{len(_TPCH_TABLES)} relations")
+    rng = random.Random(seed)
+    catalog = build_tpch_catalog()
+    chosen = ["lineitem"]
+    chosen_set = {"lineitem"}
+    while len(chosen) < n_relations:
+        candidates = [
+            (child, parent) for child, _, parent, _ in TPCH_FOREIGN_KEYS
+            if (child in chosen_set) != (parent in chosen_set)
+        ]
+        child, parent = rng.choice(candidates)
+        new_table = parent if child in chosen_set else child
+        chosen.append(new_table)
+        chosen_set.add(new_table)
+    return _query_from_tables(catalog, chosen, cost_model,
+                              name=f"tpch_{n_relations}_{seed}")

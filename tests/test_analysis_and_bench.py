@@ -1,0 +1,195 @@
+"""Tests for the analytic counter formulas, the bench harness and AWS pricing."""
+
+import pytest
+
+from repro.analysis import (
+    chain_ccp_pairs,
+    clique_ccp_pairs,
+    clique_connected_subsets,
+    clique_dpsub_evaluated_pairs,
+    star_ccp_pairs,
+    star_connected_subsets,
+    star_dpsub_evaluated_pairs,
+    star_mpdp_evaluated_pairs,
+)
+from repro.bench import (
+    AWS_INSTANCES,
+    RelativeCostTable,
+    SeriesResult,
+    TimedRun,
+    instance_for_algorithm,
+    optimization_cost_cents,
+    percentile,
+    run_relative_cost_table,
+    run_time_series,
+    wall_time_seconds,
+)
+from repro.core.connectivity import count_ccp_pairs, count_connected_subsets
+from repro.heuristics import GOO, IKKBZ
+from repro.optimizers import DPSub, MPDP
+from repro.workloads import chain_query, clique_query, snowflake_query, star_query
+
+
+class TestAnalyticFormulas:
+    @pytest.mark.parametrize("n", [3, 5, 8, 10])
+    def test_star_ccp_matches_instrumented_count(self, n):
+        query = star_query(n, seed=0)
+        assert star_ccp_pairs(n) == count_ccp_pairs(query.graph)
+
+    @pytest.mark.parametrize("n", [3, 5, 8])
+    def test_star_connected_subsets_match(self, n):
+        query = star_query(n, seed=0)
+        for size in range(1, n + 1):
+            assert star_connected_subsets(n, size) == count_connected_subsets(query.graph, size)
+
+    @pytest.mark.parametrize("n", [4, 6, 8])
+    def test_star_dpsub_evaluated_matches_instrumented_run(self, n):
+        query = star_query(n, seed=1)
+        stats = DPSub().optimize(query).stats
+        assert star_dpsub_evaluated_pairs(n) == stats.evaluated_pairs
+
+    @pytest.mark.parametrize("n", [4, 6, 8])
+    def test_star_mpdp_meets_lower_bound(self, n):
+        query = star_query(n, seed=1)
+        stats = MPDP().optimize(query).stats
+        assert star_mpdp_evaluated_pairs(n) == stats.evaluated_pairs == stats.ccp_pairs
+
+    @pytest.mark.parametrize("n", [3, 5, 7])
+    def test_chain_formula(self, n):
+        assert chain_ccp_pairs(n) == count_ccp_pairs(chain_query(n, seed=0).graph)
+
+    @pytest.mark.parametrize("n", [3, 4, 5])
+    def test_clique_formulas(self, n):
+        query = clique_query(n, seed=0)
+        assert clique_ccp_pairs(n) == count_ccp_pairs(query.graph)
+        assert clique_dpsub_evaluated_pairs(n) == DPSub().optimize(query).stats.evaluated_pairs
+        for size in range(1, n + 1):
+            assert clique_connected_subsets(n, size) == count_connected_subsets(query.graph, size)
+
+    def test_figure4_gap_grows_with_query_size(self):
+        ratios = [star_dpsub_evaluated_pairs(n) / star_ccp_pairs(n) for n in range(5, 26, 5)]
+        assert all(b > a for a, b in zip(ratios, ratios[1:]))
+        # At 25 relations the gap is in the thousands (Figure 4 reports ~2800x
+        # against unordered CCP pairs; ordered-pair normalisation halves it).
+        assert ratios[-1] > 1000
+
+    def test_out_of_range_sizes(self):
+        assert star_connected_subsets(5, 0) == 0
+        assert star_connected_subsets(5, 6) == 0
+        assert clique_connected_subsets(4, 9) == 0
+
+
+class TestPercentile:
+    def test_simple_values(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert percentile(values, 0) == 1.0
+        assert percentile(values, 100) == 4.0
+        assert percentile(values, 50) == pytest.approx(2.5)
+
+    def test_single_value(self):
+        assert percentile([7.0], 95) == 7.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+
+class TestSeriesResult:
+    def test_add_and_lookup(self):
+        series = SeriesResult(title="demo")
+        series.add(TimedRun("A", 5, 0.01))
+        series.add(TimedRun("B", 5, None, timed_out=True))
+        assert series.algorithms() == ["A", "B"]
+        assert series.sizes() == [5]
+        assert series.value("A", 5).seconds == 0.01
+        assert series.value("B", 5).timed_out
+        assert series.value("C", 5) is None
+
+    def test_render_table(self):
+        series = SeriesResult(title="demo")
+        series.add(TimedRun("A", 5, 0.010))
+        series.add(TimedRun("A", 6, 0.020))
+        series.add(TimedRun("B", 6, None, timed_out=True))
+        text = series.to_table(unit="ms")
+        assert "demo" in text
+        assert "10.000" in text
+        assert "timeout" in text
+
+
+class TestRelativeCostTable:
+    def test_statistics(self):
+        table = RelativeCostTable(title="t")
+        for value in (1.0, 1.5, 2.0):
+            table.add("X", 30, value)
+        assert table.average("X", 30) == pytest.approx(1.5)
+        assert table.percentile95("X", 30) == pytest.approx(1.95)
+        assert table.average("X", 40) is None
+        assert "X" in table.to_table()
+
+
+class TestHarnessRuns:
+    def test_run_time_series_small(self):
+        optimizers = [
+            ("MPDP", MPDP, wall_time_seconds),
+            ("DPsub", DPSub, wall_time_seconds),
+        ]
+        series = run_time_series(
+            "tiny star sweep",
+            lambda n, seed: star_query(n, seed=seed),
+            sizes=[4, 6],
+            optimizers=optimizers,
+            queries_per_size=2,
+            timeout_seconds=60.0,
+        )
+        assert series.sizes() == [4, 6]
+        for algorithm in ("MPDP", "DPsub"):
+            for size in (4, 6):
+                run = series.value(algorithm, size)
+                assert run is not None and not run.timed_out
+                assert run.seconds >= 0
+
+    def test_run_time_series_timeout_propagates(self):
+        optimizers = [("MPDP", MPDP, wall_time_seconds)]
+        series = run_time_series(
+            "timeout demo",
+            lambda n, seed: star_query(n, seed=seed),
+            sizes=[5, 6, 7],
+            optimizers=optimizers,
+            queries_per_size=1,
+            timeout_seconds=0.0,   # everything times out immediately
+        )
+        assert not series.value("MPDP", 5).timed_out  # first size still reported
+        assert series.value("MPDP", 6).timed_out
+        assert series.value("MPDP", 7).timed_out
+
+    def test_run_relative_cost_table(self):
+        table = run_relative_cost_table(
+            "tiny heuristic table",
+            lambda n, seed: snowflake_query(n, seed=seed),
+            sizes=[10],
+            optimizers=[("GOO", GOO), ("IKKBZ", IKKBZ), ("MPDP", MPDP)],
+            queries_per_size=2,
+        )
+        for algorithm in ("GOO", "IKKBZ", "MPDP"):
+            assert table.average(algorithm, 10) >= 1.0
+        # The exact algorithm defines the best plan, so its ratio is 1.
+        assert table.average("MPDP", 10) == pytest.approx(1.0)
+
+
+class TestPricing:
+    def test_known_instances(self):
+        assert set(AWS_INSTANCES) == {"c5.large", "c5.xlarge", "g4dn.xlarge"}
+        assert AWS_INSTANCES["g4dn.xlarge"].has_gpu
+
+    def test_instance_routing(self):
+        assert instance_for_algorithm("MPDP (GPU)").name == "g4dn.xlarge"
+        assert instance_for_algorithm("DPE (24CPU)").name == "c5.xlarge"
+        assert instance_for_algorithm("Postgres (1CPU)").name == "c5.large"
+        assert instance_for_algorithm("DPccp (1CPU)").name == "c5.large"
+
+    def test_cost_computation(self):
+        instance = AWS_INSTANCES["c5.large"]
+        cents = optimization_cost_cents(3600.0, instance)
+        assert cents == pytest.approx(instance.price_per_hour_usd * 100)
+        with pytest.raises(ValueError):
+            optimization_cost_cents(-1.0, instance)

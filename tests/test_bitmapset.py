@@ -1,0 +1,173 @@
+"""Unit and property tests for the bitmap-set primitives."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import bitmapset as bms
+
+
+class TestBasics:
+    def test_bit(self):
+        assert bms.bit(0) == 1
+        assert bms.bit(5) == 32
+
+    def test_bit_negative_raises(self):
+        with pytest.raises(ValueError):
+            bms.bit(-1)
+
+    def test_from_to_indices_roundtrip(self):
+        indices = [0, 3, 7, 12]
+        mask = bms.from_indices(indices)
+        assert bms.to_indices(mask) == indices
+
+    def test_iter_bits_order(self):
+        assert list(bms.iter_bits(0b101001)) == [0, 3, 5]
+
+    def test_popcount(self):
+        assert bms.popcount(0) == 0
+        assert bms.popcount(0b1011) == 3
+
+    def test_lowest_bit(self):
+        assert bms.lowest_bit(0b1100) == 0b100
+        assert bms.lowest_bit(0) == 0
+
+    def test_lowest_bit_index(self):
+        assert bms.lowest_bit_index(0b1100) == 2
+        with pytest.raises(ValueError):
+            bms.lowest_bit_index(0)
+
+    def test_highest_bit_index(self):
+        assert bms.highest_bit_index(0b1100) == 3
+        with pytest.raises(ValueError):
+            bms.highest_bit_index(0)
+
+    def test_is_subset(self):
+        assert bms.is_subset(0b0101, 0b1101)
+        assert not bms.is_subset(0b0111, 0b1101)
+        assert bms.is_subset(0, 0)
+
+    def test_overlaps_and_difference(self):
+        assert bms.overlaps(0b110, 0b011)
+        assert not bms.overlaps(0b100, 0b011)
+        assert bms.difference(0b111, 0b010) == 0b101
+
+    def test_format_set(self):
+        assert bms.format_set(0b101) == "{0, 2}"
+        assert bms.format_set(0) == "{}"
+
+
+class TestSubsetEnumeration:
+    def test_iter_subsets_includes_empty_and_full(self):
+        subsets = list(bms.iter_subsets(0b101))
+        assert 0 in subsets
+        assert 0b101 in subsets
+        assert len(subsets) == 4
+
+    def test_iter_proper_nonempty_subsets(self):
+        subsets = list(bms.iter_proper_nonempty_subsets(0b1011))
+        # 2^3 - 2 proper non-empty subsets of a 3-element set.
+        assert len(subsets) == 6
+        assert all(0 < s < 0b1011 for s in subsets)
+        assert all(bms.is_subset(s, 0b1011) for s in subsets)
+
+    def test_iter_proper_nonempty_subsets_empty_input(self):
+        assert list(bms.iter_proper_nonempty_subsets(0)) == []
+
+    def test_iter_proper_nonempty_subsets_singleton(self):
+        assert list(bms.iter_proper_nonempty_subsets(0b100)) == []
+
+    def test_iter_submasks_of_size(self):
+        universe = 0b10110
+        of_two = list(bms.iter_submasks_of_size(universe, 2))
+        assert len(of_two) == 3
+        assert all(bms.popcount(s) == 2 and bms.is_subset(s, universe) for s in of_two)
+
+    def test_iter_submasks_of_size_zero(self):
+        assert list(bms.iter_submasks_of_size(0b111, 0)) == [0]
+
+    def test_iter_submasks_size_too_large(self):
+        assert list(bms.iter_submasks_of_size(0b11, 3)) == []
+
+    @given(st.integers(min_value=0, max_value=(1 << 12) - 1))
+    def test_subset_count_is_power_of_two(self, mask):
+        count = sum(1 for _ in bms.iter_subsets(mask))
+        assert count == 1 << bms.popcount(mask)
+
+    @given(st.integers(min_value=1, max_value=(1 << 10) - 1))
+    def test_proper_nonempty_subsets_are_unique(self, mask):
+        subsets = list(bms.iter_proper_nonempty_subsets(mask))
+        assert len(subsets) == len(set(subsets))
+        assert len(subsets) == (1 << bms.popcount(mask)) - 2
+
+
+class TestGosper:
+    def test_next_combination_zero(self):
+        assert bms.next_combination(0) == 0
+
+    def test_next_combination_sequence(self):
+        # All 3-subsets of a 5-element universe in increasing numeric order.
+        masks = []
+        mask = 0b00111
+        while mask < (1 << 5):
+            masks.append(mask)
+            mask = bms.next_combination(mask)
+        assert len(masks) == math.comb(5, 3)
+        assert all(bms.popcount(m) == 3 for m in masks)
+        assert masks == sorted(masks)
+
+    @given(st.integers(min_value=1, max_value=(1 << 14) - 1))
+    def test_next_combination_preserves_popcount(self, mask):
+        nxt = bms.next_combination(mask)
+        assert bms.popcount(nxt) == bms.popcount(mask)
+        assert nxt > mask
+
+
+class TestUnranking:
+    @pytest.mark.parametrize("n,k", [(5, 2), (6, 3), (8, 1), (8, 8), (10, 4)])
+    def test_unrank_enumerates_all_combinations(self, n, k):
+        total = math.comb(n, k)
+        masks = {bms.unrank_combination(rank, n, k) for rank in range(total)}
+        assert len(masks) == total
+        assert all(bms.popcount(m) == k for m in masks)
+        assert all(m < (1 << n) for m in masks)
+
+    @given(st.integers(min_value=1, max_value=14), st.data())
+    def test_rank_unrank_roundtrip(self, n, data):
+        k = data.draw(st.integers(min_value=0, max_value=n))
+        total = math.comb(n, k)
+        rank = data.draw(st.integers(min_value=0, max_value=total - 1))
+        mask = bms.unrank_combination(rank, n, k)
+        assert bms.rank_combination(mask, n) == rank
+
+    def test_unrank_out_of_range(self):
+        with pytest.raises(ValueError):
+            bms.unrank_combination(10, 4, 2)
+        with pytest.raises(ValueError):
+            bms.unrank_combination(0, 3, 5)
+
+    def test_rank_outside_universe(self):
+        with pytest.raises(ValueError):
+            bms.rank_combination(0b10000, 4)
+
+
+class TestPdepPext:
+    def test_deposit_bits_example(self):
+        # Deposit the two low bits of the value into the positions of mask bits.
+        assert bms.deposit_bits(0b11, 0b1010) == 0b1010
+        assert bms.deposit_bits(0b01, 0b1010) == 0b0010
+        assert bms.deposit_bits(0b10, 0b1010) == 0b1000
+
+    def test_extract_bits_example(self):
+        assert bms.extract_bits(0b1010, 0b1010) == 0b11
+        assert bms.extract_bits(0b0010, 0b1010) == 0b01
+
+    @given(st.integers(min_value=0, max_value=(1 << 16) - 1),
+           st.integers(min_value=0, max_value=(1 << 16) - 1))
+    def test_pdep_pext_roundtrip(self, value, mask):
+        dense = value & ((1 << bms.popcount(mask)) - 1)
+        deposited = bms.deposit_bits(dense, mask)
+        assert bms.is_subset(deposited, mask)
+        assert bms.extract_bits(deposited, mask) == dense

@@ -1,0 +1,165 @@
+"""Tests for the biconnected-component (block) decomposition."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import bitmapset as bms
+from repro.core.blocks import block_cut_tree, find_blocks, find_cut_vertices
+from repro.core.joingraph import JoinGraph
+
+
+def paper_figure5_graph():
+    """The Figure 5 join graph, 0-indexed.
+
+    1-indexed structure: a 4-cycle-ish block {1,2,3,4}, bridges 4-5 and 5-9,
+    and a block {6,7,8,9}; cut vertices are {4, 5, 9}.
+    """
+    graph = JoinGraph(9)
+    edges = [(0, 1), (0, 2), (1, 3), (2, 3), (0, 3),
+             (3, 4), (4, 8),
+             (8, 5), (8, 6), (5, 6), (6, 7), (5, 7)]
+    for left, right in edges:
+        graph.add_edge(left, right, 0.5)
+    return graph
+
+
+def to_networkx(graph: JoinGraph, mask: int) -> nx.Graph:
+    nx_graph = nx.Graph()
+    nx_graph.add_nodes_from(bms.to_indices(mask))
+    for edge in graph.edges_within(mask):
+        nx_graph.add_edge(edge.left, edge.right)
+    return nx_graph
+
+
+class TestPaperExample:
+    def test_blocks_match_figure5(self):
+        graph = paper_figure5_graph()
+        decomposition = find_blocks(graph, graph.all_relations_mask)
+        blocks = {frozenset(bms.to_indices(block)) for block in decomposition.blocks}
+        assert blocks == {
+            frozenset({0, 1, 2, 3}),
+            frozenset({3, 4}),
+            frozenset({4, 8}),
+            frozenset({5, 6, 7, 8}),
+        }
+
+    def test_cut_vertices_match_figure5(self):
+        graph = paper_figure5_graph()
+        cut = find_cut_vertices(graph, graph.all_relations_mask)
+        assert bms.to_indices(cut) == [3, 4, 8]
+
+    def test_blocks_of_subset(self):
+        # The subset S = {1,2,3,4,5} of the paper (0-indexed {0,1,2,3,4}) has
+        # blocks {{1,2,3,4}; {4,5}} (0-indexed {{0,1,2,3}, {3,4}}).
+        graph = paper_figure5_graph()
+        subset = bms.from_indices([0, 1, 2, 3, 4])
+        decomposition = find_blocks(graph, subset)
+        blocks = {frozenset(bms.to_indices(block)) for block in decomposition.blocks}
+        assert blocks == {frozenset({0, 1, 2, 3}), frozenset({3, 4})}
+        assert decomposition.max_block_size() == 4
+
+    def test_block_cut_tree_structure(self):
+        graph = paper_figure5_graph()
+        tree = block_cut_tree(graph, graph.all_relations_mask)
+        assert len(tree["blocks"]) == 4
+        assert tree["cut_vertices"] == [3, 4, 8]
+        # Every cut vertex connects exactly the blocks containing it; the
+        # block-cut tree of Figure 5 is a chain, so it has 6 edges.
+        assert len(tree["edges"]) == 6
+
+
+class TestSimpleTopologies:
+    def test_tree_blocks_are_edges(self):
+        graph = JoinGraph(5)
+        for i in range(1, 5):
+            graph.add_edge(0, i, 0.5)
+        decomposition = find_blocks(graph, graph.all_relations_mask)
+        assert decomposition.n_blocks == 4
+        assert all(bms.popcount(block) == 2 for block in decomposition.blocks)
+        assert decomposition.cut_vertices == bms.bit(0)
+
+    def test_cycle_is_one_block(self):
+        graph = JoinGraph(5)
+        for i in range(5):
+            graph.add_edge(i, (i + 1) % 5, 0.5)
+        decomposition = find_blocks(graph, graph.all_relations_mask)
+        assert decomposition.n_blocks == 1
+        assert decomposition.blocks[0] == graph.all_relations_mask
+        assert decomposition.cut_vertices == 0
+
+    def test_single_vertex_no_blocks(self):
+        graph = JoinGraph(3)
+        graph.add_edge(0, 1, 0.5)
+        decomposition = find_blocks(graph, bms.bit(2))
+        assert decomposition.n_blocks == 0
+        assert decomposition.cut_vertices == 0
+
+    def test_two_vertex_edge(self):
+        graph = JoinGraph(2)
+        graph.add_edge(0, 1, 0.5)
+        decomposition = find_blocks(graph, 0b11)
+        assert decomposition.blocks == [0b11]
+        assert decomposition.cut_vertices == 0
+
+    def test_disconnected_subset_covered(self):
+        graph = JoinGraph(4)
+        graph.add_edge(0, 1, 0.5)
+        graph.add_edge(2, 3, 0.5)
+        decomposition = find_blocks(graph, graph.all_relations_mask)
+        blocks = {frozenset(bms.to_indices(block)) for block in decomposition.blocks}
+        assert blocks == {frozenset({0, 1}), frozenset({2, 3})}
+
+    def test_blocks_containing(self):
+        graph = paper_figure5_graph()
+        decomposition = find_blocks(graph, graph.all_relations_mask)
+        containing_3 = {frozenset(bms.to_indices(b)) for b in decomposition.blocks_containing(3)}
+        assert containing_3 == {frozenset({0, 1, 2, 3}), frozenset({3, 4})}
+
+
+class TestAgainstNetworkx:
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(min_value=2, max_value=8), st.integers(min_value=0, max_value=2 ** 20 - 1))
+    def test_matches_networkx_on_random_graphs(self, n, edge_bits):
+        graph = JoinGraph(n)
+        # Chain backbone keeps most generated graphs connected; extra edges
+        # from the bitmask introduce cycles.
+        for i in range(n - 1):
+            graph.add_edge(i, i + 1, 0.5)
+        extra = [(i, j) for i in range(n) for j in range(i + 2, n)]
+        for index, (i, j) in enumerate(extra):
+            if edge_bits & (1 << index):
+                graph.add_edge(i, j, 0.5)
+
+        mask = graph.all_relations_mask
+        decomposition = find_blocks(graph, mask)
+        ours_blocks = {frozenset(bms.to_indices(block)) for block in decomposition.blocks}
+        ours_cuts = set(bms.to_indices(decomposition.cut_vertices))
+
+        nx_graph = to_networkx(graph, mask)
+        expected_blocks = {frozenset(component) for component in nx.biconnected_components(nx_graph)}
+        expected_cuts = set(nx.articulation_points(nx_graph))
+        assert ours_blocks == expected_blocks
+        assert ours_cuts == expected_cuts
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=3, max_value=8), st.integers(min_value=0, max_value=2 ** 20 - 1),
+           st.integers(min_value=0, max_value=255))
+    def test_matches_networkx_on_subsets(self, n, edge_bits, subset_bits):
+        graph = JoinGraph(n)
+        for i in range(n - 1):
+            graph.add_edge(i, i + 1, 0.5)
+        extra = [(i, j) for i in range(n) for j in range(i + 2, n)]
+        for index, (i, j) in enumerate(extra):
+            if edge_bits & (1 << index):
+                graph.add_edge(i, j, 0.5)
+        mask = subset_bits & graph.all_relations_mask
+        if mask == 0:
+            mask = graph.all_relations_mask
+
+        decomposition = find_blocks(graph, mask)
+        ours_blocks = {frozenset(bms.to_indices(block)) for block in decomposition.blocks}
+        nx_graph = to_networkx(graph, mask)
+        expected_blocks = {frozenset(c) for c in nx.biconnected_components(nx_graph)}
+        assert ours_blocks == expected_blocks

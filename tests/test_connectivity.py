@@ -1,0 +1,167 @@
+"""Tests for grow(), connectivity and CCP-pair counting."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import bitmapset as bms
+from repro.core.connectivity import (
+    connected_components,
+    count_ccp_pairs,
+    count_connected_subsets,
+    grow,
+    is_connected,
+    iter_connected_subsets_bruteforce,
+    iter_connected_subsets_of_size,
+)
+from repro.core.joingraph import JoinGraph
+
+
+def paper_example_graph():
+    """The 9-relation cyclic join graph of Figure 5 (0-indexed)."""
+    graph = JoinGraph(9)
+    edges = [(0, 1), (0, 2), (1, 3), (2, 3), (0, 3), (3, 4), (4, 8), (8, 5), (8, 6), (5, 6), (6, 7), (5, 7)]
+    for left, right in edges:
+        graph.add_edge(left, right, 0.5)
+    return graph
+
+
+def star_graph(n):
+    graph = JoinGraph(n)
+    for i in range(1, n):
+        graph.add_edge(0, i, 0.5)
+    return graph
+
+
+def chain_graph(n):
+    graph = JoinGraph(n)
+    for i in range(n - 1):
+        graph.add_edge(i, i + 1, 0.5)
+    return graph
+
+
+def random_graph(n, edge_bits):
+    """Deterministic graph from a bitmask selecting extra edges over a chain."""
+    graph = chain_graph(n)
+    extra = [(i, j) for i in range(n) for j in range(i + 2, n)]
+    for index, (i, j) in enumerate(extra):
+        if edge_bits & (1 << index):
+            graph.add_edge(i, j, 0.5)
+    return graph
+
+
+class TestGrow:
+    def test_grow_paper_example(self):
+        graph = paper_example_graph()
+        # Paper Section 3.2.1 (1-indexed {1,2,3} -> {1,2,3,4,5,9}).
+        source = bms.from_indices([0, 1, 2])
+        restricted = bms.from_indices([0, 1, 2, 3, 4, 8])
+        assert grow(graph, source, restricted) == restricted
+
+    def test_grow_respects_restriction(self):
+        graph = chain_graph(5)
+        reached = grow(graph, bms.bit(0), bms.from_indices([0, 1, 2]))
+        assert reached == bms.from_indices([0, 1, 2])
+
+    def test_grow_source_outside_restriction(self):
+        graph = chain_graph(3)
+        with pytest.raises(ValueError):
+            grow(graph, bms.bit(0), bms.bit(1))
+
+    def test_grow_disconnected_restriction(self):
+        graph = chain_graph(5)
+        reached = grow(graph, bms.bit(0), bms.from_indices([0, 1, 3, 4]))
+        assert reached == bms.from_indices([0, 1])
+
+
+class TestIsConnected:
+    def test_empty_not_connected(self):
+        assert not is_connected(chain_graph(3), 0)
+
+    def test_singleton_connected(self):
+        assert is_connected(chain_graph(3), bms.bit(2))
+
+    def test_chain_interval_connected(self):
+        graph = chain_graph(5)
+        assert is_connected(graph, bms.from_indices([1, 2, 3]))
+        assert not is_connected(graph, bms.from_indices([0, 2]))
+
+    def test_star_needs_hub(self):
+        graph = star_graph(5)
+        assert is_connected(graph, bms.from_indices([0, 2, 4]))
+        assert not is_connected(graph, bms.from_indices([1, 2]))
+
+
+class TestConnectedComponents:
+    def test_single_component(self):
+        graph = chain_graph(4)
+        assert connected_components(graph, graph.all_relations_mask) == [0b1111]
+
+    def test_two_components(self):
+        graph = chain_graph(5)
+        components = connected_components(graph, bms.from_indices([0, 1, 3, 4]))
+        assert components == [bms.from_indices([0, 1]), bms.from_indices([3, 4])]
+
+    def test_empty_mask(self):
+        assert connected_components(chain_graph(3), 0) == []
+
+
+class TestConnectedSubsetEnumeration:
+    @pytest.mark.parametrize("n", [3, 5, 7])
+    def test_star_counts(self, n):
+        graph = star_graph(n)
+        for size in range(2, n + 1):
+            expected = __import__("math").comb(n - 1, size - 1)
+            assert count_connected_subsets(graph, size) == expected
+
+    @pytest.mark.parametrize("n", [3, 5, 7])
+    def test_chain_counts(self, n):
+        graph = chain_graph(n)
+        for size in range(2, n + 1):
+            assert count_connected_subsets(graph, size) == n - size + 1
+
+    @pytest.mark.parametrize("size", [1, 2, 3, 4, 5])
+    def test_matches_bruteforce(self, size):
+        graph = paper_example_graph()
+        fast = set(iter_connected_subsets_of_size(graph, size))
+        brute = set(iter_connected_subsets_bruteforce(graph, size))
+        assert fast == brute
+
+    def test_out_of_range_sizes(self):
+        graph = chain_graph(3)
+        assert list(iter_connected_subsets_of_size(graph, 0)) == []
+        assert list(iter_connected_subsets_of_size(graph, 4)) == []
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(min_value=3, max_value=6), st.integers(min_value=0, max_value=2 ** 10 - 1))
+    def test_enumeration_matches_bruteforce_random_graphs(self, n, edge_bits):
+        graph = random_graph(n, edge_bits)
+        for size in range(1, n + 1):
+            fast = set(iter_connected_subsets_of_size(graph, size))
+            brute = set(iter_connected_subsets_bruteforce(graph, size))
+            assert fast == brute
+
+
+class TestCCPCounting:
+    def test_two_relation_query(self):
+        graph = chain_graph(2)
+        assert count_ccp_pairs(graph) == 2  # (a,b) and (b,a)
+
+    @pytest.mark.parametrize("n,expected", [(3, 8), (4, 20)])
+    def test_chain_known_values(self, n, expected):
+        # sum over interval lengths k of (n-k+1) * 2(k-1)
+        assert count_ccp_pairs(chain_graph(n)) == expected
+
+    def test_star_4(self):
+        # Connected subsets of size k contain the hub: C(3, k-1); each tree
+        # set of size k yields 2(k-1) ordered pairs: 3*2 + 3*4 + 1*6 = 24.
+        assert count_ccp_pairs(star_graph(4)) == 24
+
+    def test_clique_3(self):
+        # Every split of every subset is valid: 3 pairs of size 2 (x2) + one
+        # 3-set with 6 ordered splits = 12.
+        graph = JoinGraph(3)
+        graph.add_edge(0, 1, 0.5)
+        graph.add_edge(1, 2, 0.5)
+        graph.add_edge(0, 2, 0.5)
+        assert count_ccp_pairs(graph) == 12

@@ -1,0 +1,281 @@
+"""Correctness tests for the exact optimizers (DPsize, DPsub, DPccp, MPDP).
+
+The central invariants, straight from the paper:
+
+* every exact algorithm finds a plan of the same (optimal) cost;
+* every exact algorithm evaluates the same number of *valid* CCP pairs,
+  equal to the query's CCP-Counter (Section 2.1);
+* DPccp and MPDP:Tree never evaluate an invalid pair; MPDP matches that bound
+  on tree join graphs (Theorem 3) and on graphs whose blocks are cliques
+  (Lemma 9), and never evaluates more pairs than DPsub (Lemma 7).
+"""
+
+import itertools
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import bitmapset as bms
+from repro.core.connectivity import count_ccp_pairs, is_connected
+from repro.core.plan import JoinMethod
+from repro.optimizers import (
+    DPCcp,
+    DPE,
+    DPSize,
+    DPSub,
+    EXACT_OPTIMIZERS,
+    MPDP,
+    MPDPTree,
+    OptimizationError,
+    PDP,
+)
+from repro.optimizers.dpccp import enumerate_csg_cmp_pairs
+from repro.workloads import (
+    chain_query,
+    clique_query,
+    cycle_query,
+    random_connected_query,
+    snowflake_query,
+    star_query,
+)
+
+ALL_EXACT = [DPSize, DPSub, DPCcp, MPDP]
+
+
+def brute_force_best_cost(query):
+    """Exhaustive optimum over all cross-product-free bushy trees (tiny n only)."""
+    n = query.n_relations
+    best = {}
+    for vertex in range(n):
+        best[bms.bit(vertex)] = query.leaf_plan(vertex)
+    for size in range(2, n + 1):
+        for combo in itertools.combinations(range(n), size):
+            mask = bms.from_indices(combo)
+            if not is_connected(query.graph, mask):
+                continue
+            best_plan = None
+            for left in bms.iter_proper_nonempty_subsets(mask):
+                right = mask & ~left
+                if left not in best or right not in best:
+                    continue
+                if not query.graph.is_connected_to(left, right):
+                    continue
+                plan = query.join(left, right, best[left], best[right])
+                if best_plan is None or plan.cost < best_plan.cost:
+                    best_plan = plan
+            if best_plan is not None:
+                best[mask] = best_plan
+    return best[query.all_relations_mask].cost
+
+
+QUERY_MAKERS = [
+    ("star", lambda seed: star_query(7, seed=seed)),
+    ("snowflake", lambda seed: snowflake_query(8, seed=seed)),
+    ("chain", lambda seed: chain_query(7, seed=seed)),
+    ("cycle", lambda seed: cycle_query(6, seed=seed)),
+    ("clique", lambda seed: clique_query(5, seed=seed)),
+    ("random", lambda seed: random_connected_query(7, seed=seed)),
+]
+
+
+class TestOptimality:
+    @pytest.mark.parametrize("name,maker", QUERY_MAKERS)
+    @pytest.mark.parametrize("optimizer_cls", ALL_EXACT)
+    def test_matches_bruteforce_optimum(self, name, maker, optimizer_cls):
+        query = maker(seed=11)
+        expected = brute_force_best_cost(query)
+        result = optimizer_cls().optimize(query)
+        assert result.cost == pytest.approx(expected, rel=1e-9)
+
+    @pytest.mark.parametrize("name,maker", QUERY_MAKERS)
+    def test_all_algorithms_agree(self, name, maker):
+        query = maker(seed=3)
+        costs = {cls.__name__: cls().optimize(query).cost for cls in ALL_EXACT}
+        reference = next(iter(costs.values()))
+        for cost in costs.values():
+            assert cost == pytest.approx(reference, rel=1e-9)
+
+    @pytest.mark.parametrize("optimizer_cls", ALL_EXACT)
+    def test_two_relation_query(self, optimizer_cls):
+        query = chain_query(2, seed=0)
+        result = optimizer_cls().optimize(query)
+        assert result.plan.n_relations == 2
+        assert result.plan.method in JoinMethod.ALL_JOINS
+
+    @pytest.mark.parametrize("optimizer_cls", ALL_EXACT)
+    def test_plan_is_valid_and_complete(self, optimizer_cls):
+        query = random_connected_query(8, seed=5)
+        result = optimizer_cls().optimize(query)
+        result.plan.validate()
+        assert result.plan.relations == query.all_relations_mask
+        assert result.cost == pytest.approx(result.plan.cost)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(min_value=4, max_value=7), st.integers(min_value=0, max_value=10_000))
+    def test_mpdp_equals_dpccp_on_random_queries(self, n, seed):
+        query = random_connected_query(n, extra_edge_probability=0.3, seed=seed)
+        mpdp = MPDP().optimize(query)
+        dpccp = DPCcp().optimize(query)
+        assert mpdp.cost == pytest.approx(dpccp.cost, rel=1e-9)
+
+
+class TestCounters:
+    @pytest.mark.parametrize("name,maker", QUERY_MAKERS)
+    def test_ccp_counter_identical_across_algorithms(self, name, maker):
+        query = maker(seed=7)
+        ground_truth = count_ccp_pairs(query.graph)
+        for cls in ALL_EXACT:
+            stats = cls().optimize(query).stats
+            assert stats.ccp_pairs == ground_truth, cls.__name__
+
+    def test_dpccp_evaluates_only_valid_pairs(self):
+        query = random_connected_query(8, seed=2)
+        stats = DPCcp().optimize(query).stats
+        assert stats.evaluated_pairs == stats.ccp_pairs
+
+    def test_mpdp_tree_meets_lower_bound(self):
+        query = snowflake_query(9, seed=1)
+        stats = MPDP().optimize(query).stats
+        assert stats.evaluated_pairs == stats.ccp_pairs  # Theorem 3
+
+    def test_mpdp_clique_meets_lower_bound(self):
+        query = clique_query(5, seed=1)
+        stats = MPDP().optimize(query).stats
+        assert stats.evaluated_pairs == stats.ccp_pairs  # Lemma 9
+
+    def test_mpdp_never_exceeds_dpsub(self):
+        for seed in range(5):
+            query = random_connected_query(7, extra_edge_probability=0.4, seed=seed)
+            mpdp = MPDP().optimize(query).stats
+            dpsub = DPSub().optimize(query).stats
+            assert mpdp.evaluated_pairs <= dpsub.evaluated_pairs  # Lemma 7
+
+    def test_dpsub_wastes_pairs_on_star(self):
+        query = star_query(8, seed=0)
+        dpsub = DPSub().optimize(query).stats
+        mpdp = MPDP().optimize(query).stats
+        assert dpsub.evaluated_pairs > 3 * mpdp.evaluated_pairs
+        assert dpsub.ccp_pairs == mpdp.ccp_pairs
+
+    def test_figure5_block_enumeration_reduction(self):
+        """Paper Section 3.2: for the 9-relation cyclic example, the top-level
+        set's enumeration drops from 512 (DPsub) to 32 (MPDP) subset probes."""
+        from repro.core.joingraph import JoinGraph
+        from repro.core.query import QueryInfo
+
+        graph = JoinGraph(9)
+        for left, right in [(0, 1), (0, 2), (1, 3), (2, 3), (0, 3), (3, 4), (4, 8),
+                            (8, 5), (8, 6), (5, 6), (6, 7), (5, 7)]:
+            graph.add_edge(left, right, 0.5)
+        query = QueryInfo(graph, [100.0] * 9)
+        mpdp_stats = MPDP().optimize(query).stats
+        dpsub_stats = DPSub().optimize(query).stats
+        top = 9
+        assert dpsub_stats.level_pairs[top] == 2 ** 9 - 2
+        # Blocks of the full set have sizes 4, 2, 2, 4 -> at most
+        # (2^4-2) + 2 + 2 + (2^4-2) = 32 probes at the top level.
+        assert mpdp_stats.level_pairs[top] <= 32
+        assert mpdp_stats.level_pairs[top] < dpsub_stats.level_pairs[top]
+
+    def test_level_counters_sum_to_totals(self):
+        query = random_connected_query(7, seed=9)
+        stats = MPDP().optimize(query).stats
+        assert sum(stats.level_pairs.values()) == stats.evaluated_pairs
+        assert sum(stats.level_ccp.values()) == stats.ccp_pairs
+        assert sum(stats.level_sets.values()) == stats.connected_sets
+
+    def test_memo_contains_every_connected_subset(self):
+        query = star_query(6, seed=4)
+        result = MPDP().optimize(query)
+        expected_sets = sum(math.comb(5, k - 1) for k in range(2, 7)) + 6
+        assert len(result.memo) == expected_sets
+
+
+class TestSubsetOptimization:
+    def test_optimize_connected_subset(self):
+        query = snowflake_query(9, seed=2)
+        subset = 0
+        # Take the fact table and its first three neighbours.
+        subset = bms.bit(0)
+        for vertex in list(bms.iter_bits(query.graph.adjacency(0)))[:3]:
+            subset |= bms.bit(vertex)
+        full = MPDP().optimize(query, subset=subset)
+        assert full.plan.relations == subset
+        reference = DPCcp().optimize(query, subset=subset)
+        assert full.cost == pytest.approx(reference.cost, rel=1e-9)
+
+    def test_disconnected_subset_rejected(self):
+        query = star_query(6, seed=0)
+        # Two satellites without the hub are disconnected.
+        subset = bms.from_indices([1, 2])
+        with pytest.raises(OptimizationError):
+            MPDP().optimize(query, subset=subset)
+
+    def test_empty_and_foreign_subsets_rejected(self):
+        query = star_query(5, seed=0)
+        with pytest.raises(OptimizationError):
+            MPDP().optimize(query, subset=0)
+        with pytest.raises(OptimizationError):
+            MPDP().optimize(query, subset=bms.bit(10))
+
+    def test_singleton_subset(self):
+        query = star_query(5, seed=0)
+        result = MPDP().optimize(query, subset=bms.bit(2))
+        assert result.plan.is_leaf
+        assert result.plan.relation_index == 2
+
+
+class TestSpecialisedVariants:
+    def test_mpdp_tree_rejects_cyclic_graph(self):
+        query = cycle_query(5, seed=0)
+        with pytest.raises(OptimizationError):
+            MPDPTree().optimize(query)
+
+    def test_mpdp_tree_matches_mpdp_on_trees(self):
+        query = snowflake_query(9, seed=8)
+        tree_result = MPDPTree().optimize(query)
+        general_result = MPDP().optimize(query)
+        assert tree_result.cost == pytest.approx(general_result.cost, rel=1e-9)
+        assert tree_result.stats.ccp_pairs == general_result.stats.ccp_pairs
+        assert tree_result.stats.evaluated_pairs == tree_result.stats.ccp_pairs
+
+    def test_pdp_and_dpe_share_plans_with_their_bases(self):
+        query = star_query(7, seed=6)
+        assert PDP().optimize(query).cost == pytest.approx(DPSize().optimize(query).cost)
+        assert DPE().optimize(query).cost == pytest.approx(DPCcp().optimize(query).cost)
+
+    def test_dpsub_unrank_filter_mode(self):
+        query = star_query(6, seed=1)
+        direct = DPSub(unrank_filter=False).optimize(query)
+        unranked = DPSub(unrank_filter=True).optimize(query)
+        assert direct.cost == pytest.approx(unranked.cost)
+        assert unranked.stats.sets_considered >= direct.stats.sets_considered
+        # The unrank-and-filter mode looks at every combination per level.
+        expected_considered = sum(math.comb(6, k) for k in range(2, 7))
+        assert unranked.stats.sets_considered == expected_considered
+
+    def test_registry_contains_all_algorithms(self):
+        assert set(EXACT_OPTIMIZERS) == {
+            "DPsize", "DPsub", "DPccp", "PDP", "DPE", "MPDP", "MPDP:Tree"}
+        for name, cls in EXACT_OPTIMIZERS.items():
+            assert cls().name == name
+
+
+class TestCsgCmpEnumeration:
+    @pytest.mark.parametrize("name,maker", QUERY_MAKERS)
+    def test_each_unordered_pair_emitted_once(self, name, maker):
+        query = maker(seed=13)
+        pairs = list(enumerate_csg_cmp_pairs(query, query.all_relations_mask))
+        unordered = {frozenset((left, right)) for left, right in pairs}
+        assert len(unordered) == len(pairs)
+        assert 2 * len(pairs) == count_ccp_pairs(query.graph)
+
+    def test_every_emitted_pair_is_valid(self):
+        query = random_connected_query(7, extra_edge_probability=0.3, seed=21)
+        for left, right in enumerate_csg_cmp_pairs(query, query.all_relations_mask):
+            assert left & right == 0
+            assert is_connected(query.graph, left)
+            assert is_connected(query.graph, right)
+            assert query.graph.is_connected_to(left, right)

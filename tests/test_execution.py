@@ -1,0 +1,107 @@
+"""Tests for the execution substrates: runtime model, dataset, executor."""
+
+import pytest
+
+from repro.execution import (
+    CostBasedRuntimeModel,
+    InMemoryExecutor,
+    SyntheticDataset,
+)
+from repro.optimizers import DPCcp, MPDP
+from repro.heuristics import GOO
+from repro.workloads import chain_query, musicbrainz_query, star_query
+
+
+class TestCostBasedRuntimeModel:
+    def test_runtime_grows_with_cost(self):
+        model = CostBasedRuntimeModel()
+        query = star_query(6, seed=0)
+        plan = MPDP().optimize(query).plan
+        assert model.runtime_seconds(plan) > model.startup_seconds
+
+    def test_linear_in_cost_units(self):
+        model = CostBasedRuntimeModel(seconds_per_cost_unit=1e-6, startup_seconds=0.0)
+        query = star_query(5, seed=1)
+        plan = MPDP().optimize(query).plan
+        assert model.runtime_seconds(plan) == pytest.approx(plan.cost * 1e-6)
+
+
+class TestSyntheticDataset:
+    def test_rows_scaled_and_capped(self):
+        query = star_query(6, seed=2, fact_rows=1e7)
+        dataset = SyntheticDataset(query, scale=1e-4, max_rows=500)
+        assert dataset.rows(0) == 500  # capped
+        for relation in range(query.n_relations):
+            assert dataset.rows(relation) >= 2
+
+    def test_pk_fk_columns_reference_valid_keys(self):
+        query = star_query(5, seed=3)
+        dataset = SyntheticDataset(query, scale=1e-3, max_rows=1000)
+        for index, edge in enumerate(query.graph.edges):
+            column = f"j{index}"
+            left = dataset.table(edge.left)[column]
+            right = dataset.table(edge.right)[column]
+            # FK values must fall inside the PK value range.
+            assert min(left.min(), right.min()) >= 0
+            assert max(left.max(), right.max()) < max(len(left), len(right))
+
+    def test_every_edge_has_columns_on_both_sides(self):
+        query = musicbrainz_query(6, seed=1)
+        dataset = SyntheticDataset(query, scale=1e-4, max_rows=2000)
+        for index, edge in enumerate(query.graph.edges):
+            column = f"j{index}"
+            assert column in dataset.table(edge.left)
+            assert column in dataset.table(edge.right)
+
+    def test_deterministic_for_seed(self):
+        query = chain_query(4, seed=5)
+        a = SyntheticDataset(query, seed=7)
+        b = SyntheticDataset(query, seed=7)
+        for relation in range(query.n_relations):
+            for column, values in a.table(relation).items():
+                assert (values == b.table(relation)[column]).all()
+
+
+class TestInMemoryExecutor:
+    def test_executes_leaf_plan(self):
+        query = chain_query(3, seed=1)
+        dataset = SyntheticDataset(query, scale=1e-3, max_rows=100)
+        executor = InMemoryExecutor(dataset)
+        result = executor.execute(query.leaf_plan(0))
+        assert result.rows == dataset.rows(0)
+
+    def test_row_count_independent_of_join_order(self):
+        """Different plans for the same query must return the same result size."""
+        query = musicbrainz_query(6, seed=9)
+        dataset = SyntheticDataset(query, scale=1e-4, max_rows=3000)
+        executor = InMemoryExecutor(dataset)
+        plans = [MPDP().optimize(query).plan,
+                 GOO().optimize(query).plan,
+                 DPCcp().optimize(query).plan]
+        row_counts = {executor.execute(plan).rows for plan in plans}
+        assert len(row_counts) == 1
+
+    def test_pk_fk_chain_preserves_fact_rows(self):
+        """Joining a fact table to dimension PKs never loses or multiplies rows."""
+        query = star_query(4, seed=4, selection_probability=0.0)
+        dataset = SyntheticDataset(query, scale=1e-4, max_rows=2000)
+        executor = InMemoryExecutor(dataset)
+        plan = MPDP().optimize(query).plan
+        result = executor.execute(plan)
+        assert result.rows == dataset.rows(0)
+
+    def test_wall_time_recorded(self):
+        query = chain_query(4, seed=2)
+        dataset = SyntheticDataset(query, scale=1e-3, max_rows=500)
+        result = InMemoryExecutor(dataset).execute(MPDP().optimize(query).plan)
+        assert result.wall_time_seconds >= 0.0
+
+    def test_cross_product_plan_rejected(self):
+        from repro.core.plan import JoinMethod, join_plan
+        query = chain_query(3, seed=3)
+        dataset = SyntheticDataset(query, scale=1e-3, max_rows=100)
+        executor = InMemoryExecutor(dataset)
+        # Relations 0 and 2 of a chain are not joined by any predicate.
+        bad = join_plan(query.leaf_plan(0), query.leaf_plan(2), 10, 1.0, JoinMethod.HASH_JOIN)
+        with pytest.raises(ValueError):
+            executor.execute(bad)

@@ -1,0 +1,182 @@
+"""Tests for the GPU simulator: Murmur3 hash table, pipeline model, wrappers."""
+
+import pytest
+
+from repro.core.plan import scan_plan
+from repro.gpu import (
+    DPSizeGpu,
+    DPSubGpu,
+    GPUDeviceSpec,
+    GPUHashTable,
+    GPUPipelineModel,
+    GTX_1080,
+    MPDPGpu,
+    TESLA_T4,
+    murmur3_32,
+    murmur3_bitmap,
+)
+from repro.gpu.simulated import GPUSimulatedOptimizer
+from repro.optimizers import DPSub, MPDP
+from repro.workloads import musicbrainz_query, star_query
+
+
+class TestMurmur3:
+    def test_reference_vectors(self):
+        # Reference values for MurmurHash3 x86 32-bit.
+        assert murmur3_32(b"", 0) == 0
+        assert murmur3_32(b"", 1) == 0x514E28B7
+        assert murmur3_32(b"hello", 0) == 0x248BFA47
+        assert murmur3_32(b"hello, world", 0) == 0x149BBB7F
+        assert murmur3_32(b"The quick brown fox jumps over the lazy dog", 0x9747B28C) == 0x2FA826CD
+
+    def test_bitmap_hash_stable_across_widths(self):
+        assert murmur3_bitmap(0b1011) == murmur3_bitmap(0b1011)
+        # The same set must hash equally whether or not high zero bytes exist.
+        assert murmur3_bitmap(5) == murmur3_bitmap(5 | 0)
+
+    def test_different_sets_usually_differ(self):
+        hashes = {murmur3_bitmap(1 << i) for i in range(64)}
+        assert len(hashes) > 60
+
+
+class TestGPUHashTable:
+    def test_put_get_roundtrip(self):
+        table = GPUHashTable(capacity=8)
+        plan = scan_plan(0, 10, 1.0)
+        assert table.put(0b1, plan)
+        assert table.get(0b1) is plan
+        assert 0b1 in table
+        assert table[0b1] is plan
+        assert table.get(0b10) is None
+        with pytest.raises(KeyError):
+            table[0b10]
+
+    def test_keeps_cheapest_plan(self):
+        table = GPUHashTable(capacity=8)
+        table.put(0b1, scan_plan(0, 10, 5.0))
+        assert not table.put(0b1, scan_plan(0, 10, 9.0))
+        assert table.put(0b1, scan_plan(0, 10, 1.0))
+        assert table[0b1].cost == 1.0
+        assert len(table) == 1
+
+    def test_grows_past_load_factor(self):
+        table = GPUHashTable(capacity=4)
+        for i in range(20):
+            table.put(1 << i, scan_plan(i, 10, 1.0))
+        assert len(table) == 20
+        assert table.capacity >= 32
+        assert {key for key, _ in table.items()} == {1 << i for i in range(20)}
+
+    def test_probe_count_increases(self):
+        table = GPUHashTable(capacity=16)
+        before = table.probe_count
+        table.put(0b1, scan_plan(0, 10, 1.0))
+        table.get(0b1)
+        assert table.probe_count > before
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            GPUHashTable(capacity=2)
+
+
+class TestDeviceSpec:
+    def test_parallel_lanes(self):
+        assert GTX_1080.parallel_lanes == 20 * 4 * 32
+        assert TESLA_T4.parallel_lanes == 40 * 4 * 32
+
+    def test_kernel_time_zero_work(self):
+        assert GTX_1080.kernel_time(0, 100) == 0.0
+
+    def test_kernel_time_scales_with_work(self):
+        small = GTX_1080.kernel_time(1_000, 100)
+        big = GTX_1080.kernel_time(1_000_000, 100)
+        assert big > small > 0
+
+    def test_transfer_time_includes_latency(self):
+        assert GTX_1080.transfer_time(0) == 0.0
+        assert GTX_1080.transfer_time(1) >= GTX_1080.pcie_latency_s
+
+
+@pytest.fixture(scope="module")
+def dpsub_star10_stats():
+    return DPSub().optimize(star_query(10, seed=1)).stats
+
+
+class TestPipelineModel:
+    def test_breakdown_sums_to_total(self, dpsub_star10_stats):
+        stats = dpsub_star10_stats
+        breakdown = GPUPipelineModel().simulate(stats, 10)
+        parts = breakdown.as_dict()
+        assert parts["total"] == pytest.approx(
+            sum(v for k, v in parts.items() if k != "total"))
+        assert breakdown.total > 0
+
+    def test_more_relations_more_time(self, dpsub_star10_stats):
+        small = GPUPipelineModel().simulate(DPSub().optimize(star_query(7, seed=1)).stats, 7)
+        large = GPUPipelineModel().simulate(dpsub_star10_stats, 10)
+        assert large.total > small.total
+
+    def test_ccc_helps_when_density_is_low(self, dpsub_star10_stats):
+        """On star queries DPsub's valid-pair density is low, so CCC wins."""
+        stats = dpsub_star10_stats
+        with_ccc = GPUPipelineModel(collaborative_context_collection=True).simulate(stats, 10)
+        without_ccc = GPUPipelineModel(collaborative_context_collection=False).simulate(stats, 10)
+        assert with_ccc.evaluate < without_ccc.evaluate
+
+    def test_kernel_fusion_reduces_prune_cost(self, dpsub_star10_stats):
+        stats = dpsub_star10_stats
+        fused = GPUPipelineModel(kernel_fusion=True).simulate(stats, 10)
+        unfused = GPUPipelineModel(kernel_fusion=False).simulate(stats, 10)
+        assert fused.prune < unfused.prune
+        assert fused.total < unfused.total
+
+    def test_dpsize_profile_skips_unranking(self, dpsub_star10_stats):
+        stats = dpsub_star10_stats
+        with_unrank = GPUPipelineModel(uses_subset_unranking=True).simulate(stats, 10)
+        without_unrank = GPUPipelineModel(uses_subset_unranking=False).simulate(stats, 10)
+        assert without_unrank.unrank == 0.0
+        assert with_unrank.unrank > 0.0
+
+    def test_per_level_entries_cover_all_levels(self, dpsub_star10_stats):
+        breakdown = GPUPipelineModel().simulate(dpsub_star10_stats, 10)
+        assert set(breakdown.per_level) == set(range(2, 11))
+
+
+class TestSimulatedOptimizers:
+    def test_gpu_wrappers_do_not_change_the_plan(self):
+        query = musicbrainz_query(10, seed=4)
+        cpu_cost = MPDP().optimize(query).cost
+        for wrapper in (MPDPGpu(), DPSubGpu(), DPSizeGpu()):
+            result = wrapper.optimize(query)
+            assert result.cost == pytest.approx(cpu_cost, rel=1e-9)
+            assert result.stats.extra["gpu_total_seconds"] > 0
+
+    def test_mpdp_gpu_beats_dpsub_gpu_on_large_star(self):
+        """The headline effect: fewer evaluated pairs -> faster simulated GPU time."""
+        query = star_query(11, seed=3)
+        mpdp_seconds = MPDPGpu().optimize(query).stats.extra["gpu_total_seconds"]
+        dpsub_seconds = DPSubGpu().optimize(query).stats.extra["gpu_total_seconds"]
+        assert mpdp_seconds < dpsub_seconds
+
+    def test_stats_carry_phase_breakdown(self):
+        query = star_query(9, seed=2)
+        stats = MPDPGpu().optimize(query).stats
+        for phase in ("unrank", "filter", "evaluate", "prune", "scatter", "transfer"):
+            assert f"gpu_{phase}_seconds" in stats.extra
+        assert stats.extra["gpu_hash_average_probes"] >= 1.0
+        assert stats.algorithm == "MPDP (GPU)"
+
+    def test_custom_device_changes_times(self):
+        query = star_query(11, seed=2)
+        slow_device = GPUDeviceSpec(name="slow", sm_count=2, warps_per_sm=1)
+        fast = MPDPGpu(device=GTX_1080).optimize(query).stats.extra["gpu_total_seconds"]
+        slow = MPDPGpu(device=slow_device).optimize(query).stats.extra["gpu_total_seconds"]
+        assert slow > fast
+
+    def test_generic_wrapper_name_and_subset(self):
+        query = star_query(8, seed=1)
+        wrapper = GPUSimulatedOptimizer(MPDP(), name="custom")
+        assert wrapper.name == "custom"
+        subset = 0b1111
+        result = wrapper.optimize(query, subset=subset)
+        assert result.plan.relations == subset

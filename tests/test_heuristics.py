@@ -1,0 +1,298 @@
+"""Tests for the heuristic optimizers (GOO, IKKBZ, GEQO, IDP, LinDP, UnionDP)."""
+
+import itertools
+
+import pytest
+
+from repro.core import bitmapset as bms
+from repro.heuristics import (
+    GEQO,
+    GOO,
+    HEURISTIC_OPTIMIZERS,
+    IDP1,
+    IDP2,
+    IKKBZ,
+    AdaptiveLinDP,
+    LinearizedDP,
+    UnionDP,
+    build_left_deep_plan,
+    left_deep_cout_cost,
+)
+from repro.cost import CoutCostModel
+from repro.core.query import QueryInfo
+from repro.optimizers import MPDP, DPCcp, OptimizationError
+from repro.workloads import (
+    chain_query,
+    clique_query,
+    cycle_query,
+    random_connected_query,
+    snowflake_query,
+    star_query,
+)
+
+ALL_HEURISTICS = [
+    ("GOO", lambda: GOO()),
+    ("IKKBZ", lambda: IKKBZ()),
+    ("GE-QO", lambda: GEQO(seed=7, generations=60)),
+    ("IDP1", lambda: IDP1(k=5)),
+    ("IDP2", lambda: IDP2(k=5)),
+    ("LinearizedDP", lambda: LinearizedDP()),
+    ("LinDP", lambda: AdaptiveLinDP()),
+    ("UnionDP", lambda: UnionDP(k=5)),
+]
+
+SMALL_QUERIES = [
+    ("star", star_query(8, seed=4)),
+    ("snowflake", snowflake_query(9, seed=4)),
+    ("cycle", cycle_query(7, seed=4)),
+    ("random", random_connected_query(8, seed=4)),
+]
+
+
+class TestCommonHeuristicContract:
+    @pytest.mark.parametrize("hname,factory", ALL_HEURISTICS)
+    @pytest.mark.parametrize("qname,query", SMALL_QUERIES)
+    def test_produces_valid_complete_plan(self, hname, factory, qname, query):
+        result = factory().optimize(query)
+        result.plan.validate()
+        assert result.plan.relations == query.all_relations_mask
+        assert result.cost == pytest.approx(result.plan.cost)
+
+    @pytest.mark.parametrize("hname,factory", ALL_HEURISTICS)
+    @pytest.mark.parametrize("qname,query", SMALL_QUERIES)
+    def test_never_beats_the_exact_optimum(self, hname, factory, qname, query):
+        optimal = MPDP().optimize(query).cost
+        heuristic = factory().optimize(query).cost
+        assert heuristic >= optimal - 1e-6 * optimal
+
+    @pytest.mark.parametrize("hname,factory", ALL_HEURISTICS)
+    def test_deterministic_given_seeded_inputs(self, hname, factory):
+        query = snowflake_query(10, seed=9)
+        assert factory().optimize(query).cost == pytest.approx(factory().optimize(query).cost)
+
+    def test_registry_covers_paper_techniques(self):
+        assert {"GE-QO", "GOO", "IKKBZ", "LinDP", "IDP2", "UnionDP"} <= set(HEURISTIC_OPTIMIZERS)
+
+
+class TestGOO:
+    def test_greedy_choice_on_handcrafted_query(self):
+        # Chain a-b-c where joining b-c first is clearly better.
+        from repro.core.joingraph import JoinGraph
+        graph = JoinGraph(3, ["a", "b", "c"])
+        graph.add_edge(0, 1, 0.5)      # a-b join is big
+        graph.add_edge(1, 2, 0.001)    # b-c join is tiny
+        query = QueryInfo(graph, [1000.0, 1000.0, 1000.0])
+        plan = GOO().optimize(query).plan
+        first_join = min(plan.iter_joins(), key=lambda node: node.n_relations)
+        assert first_join.relations == bms.from_indices([1, 2])
+
+    def test_handles_large_tree_queries_quickly(self):
+        query = snowflake_query(120, seed=2)
+        result = GOO().optimize(query)
+        assert result.plan.relations == query.all_relations_mask
+        assert result.stats.ccp_pairs == 119  # n-1 joins
+
+    def test_exact_on_two_relations(self):
+        query = chain_query(2, seed=1)
+        assert GOO().optimize(query).cost == pytest.approx(MPDP().optimize(query).cost)
+
+
+class TestIKKBZ:
+    def test_plan_is_left_deep(self):
+        query = snowflake_query(12, seed=3)
+        plan = IKKBZ().optimize(query).plan
+        assert plan.is_left_deep()
+
+    def test_linear_order_is_a_permutation_and_connected_prefixes(self):
+        query = snowflake_query(12, seed=3)
+        order = IKKBZ().linear_order(query)
+        assert sorted(order) == list(range(query.n_relations))
+        prefix = bms.bit(order[0])
+        for vertex in order[1:]:
+            assert query.graph.is_connected_to(prefix, bms.bit(vertex))
+            prefix |= bms.bit(vertex)
+
+    def test_optimal_among_left_deep_orders_under_cout(self):
+        """IKKBZ is exact for left-deep plans under C_out on acyclic graphs."""
+        query = star_query(6, seed=5, cost_model=CoutCostModel())
+        order = IKKBZ().linear_order(query)
+        best_cost = left_deep_cout_cost(query, order)
+        for permutation in itertools.permutations(range(query.n_relations)):
+            # Skip orders with cross products (disconnected prefixes).
+            prefix = bms.bit(permutation[0])
+            valid = True
+            for vertex in permutation[1:]:
+                if not query.graph.is_connected_to(prefix, bms.bit(vertex)):
+                    valid = False
+                    break
+                prefix |= bms.bit(vertex)
+            if not valid:
+                continue
+            assert best_cost <= left_deep_cout_cost(query, permutation) * (1 + 1e-9)
+
+    def test_left_deep_cout_cost_manual(self):
+        from repro.core.joingraph import JoinGraph
+        graph = JoinGraph(3)
+        graph.add_edge(0, 1, 0.1)
+        graph.add_edge(1, 2, 0.01)
+        query = QueryInfo(graph, [10.0, 20.0, 30.0])
+        # order 0,1,2: |01| = 10*20*0.1 = 20 ; |012| = 20*30*0.01 = 6 -> 26.
+        assert left_deep_cout_cost(query, [0, 1, 2]) == pytest.approx(26.0)
+
+    def test_build_left_deep_plan_order(self):
+        query = chain_query(4, seed=0)
+        plan = build_left_deep_plan(query, [0, 1, 2, 3])
+        assert plan.is_left_deep()
+        assert plan.leaf_order() == [0, 1, 2, 3]
+
+    def test_works_on_cyclic_graphs_via_spanning_tree(self):
+        query = cycle_query(8, seed=2)
+        result = IKKBZ().optimize(query)
+        assert result.plan.relations == query.all_relations_mask
+
+
+class TestGEQO:
+    def test_seed_determinism(self):
+        query = snowflake_query(12, seed=6)
+        a = GEQO(seed=3, generations=40).optimize(query).cost
+        b = GEQO(seed=3, generations=40).optimize(query).cost
+        assert a == pytest.approx(b)
+
+    def test_more_generations_never_hurts(self):
+        query = snowflake_query(14, seed=6)
+        short = GEQO(seed=1, generations=5).optimize(query).cost
+        long = GEQO(seed=1, generations=200).optimize(query).cost
+        assert long <= short * (1 + 1e-9)
+
+    def test_effort_bounds_validated(self):
+        with pytest.raises(ValueError):
+            GEQO(effort=0)
+        with pytest.raises(ValueError):
+            GEQO(effort=11)
+
+    def test_no_cross_products_in_result(self):
+        query = star_query(10, seed=2)
+        plan = GEQO(seed=5, generations=30).optimize(query).plan
+        for node in plan.iter_joins():
+            assert query.graph.is_connected_to(node.left.relations, node.right.relations)
+
+
+class TestIDP:
+    def test_idp1_requires_sane_k(self):
+        with pytest.raises(ValueError):
+            IDP1(k=1)
+
+    def test_idp2_requires_sane_k(self):
+        with pytest.raises(ValueError):
+            IDP2(k=1)
+
+    def test_idp2_equals_exact_when_k_covers_query(self):
+        query = snowflake_query(9, seed=7)
+        exact = MPDP().optimize(query).cost
+        idp = IDP2(k=9).optimize(query).cost
+        assert idp == pytest.approx(exact, rel=1e-9)
+
+    def test_idp2_quality_improves_with_k(self):
+        query = snowflake_query(30, seed=11)
+        costs = {k: IDP2(k=k).optimize(query).cost for k in (3, 6, 10)}
+        assert costs[10] <= costs[3] * (1 + 1e-9)
+
+    def test_idp2_handles_medium_queries(self):
+        query = star_query(35, seed=1)
+        result = IDP2(k=8).optimize(query)
+        assert result.plan.relations == query.all_relations_mask
+        result.plan.validate()
+
+    def test_idp2_merges_nested_stats(self):
+        query = snowflake_query(20, seed=3)
+        stats = IDP2(k=6).optimize(query).stats
+        assert stats.ccp_pairs > 0
+        assert stats.evaluated_pairs >= stats.ccp_pairs
+
+    def test_idp1_produces_reasonable_plan(self):
+        query = snowflake_query(18, seed=5)
+        goo_cost = GOO().optimize(query).cost
+        idp1_cost = IDP1(k=6).optimize(query).cost
+        assert idp1_cost <= goo_cost * 5
+
+    def test_whole_query_requirement(self):
+        query = star_query(8, seed=0)
+        with pytest.raises(OptimizationError):
+            IDP2(k=4).optimize(query, subset=bms.from_indices([0, 1, 2]))
+
+
+class TestLinDP:
+    def test_linearized_dp_at_least_as_good_as_ikkbz(self):
+        for seed in range(4):
+            query = snowflake_query(15, seed=seed)
+            ikkbz_cost = IKKBZ().optimize(query).cost
+            lindp_cost = LinearizedDP().optimize(query).cost
+            assert lindp_cost <= ikkbz_cost * (1 + 1e-9)
+
+    def test_adaptive_uses_exact_for_small_queries(self):
+        query = snowflake_query(9, seed=2)
+        adaptive = AdaptiveLinDP().optimize(query).cost
+        exact = DPCcp().optimize(query).cost
+        assert adaptive == pytest.approx(exact, rel=1e-9)
+
+    def test_adaptive_handles_medium_and_large(self):
+        medium = snowflake_query(25, seed=3)
+        result = AdaptiveLinDP().optimize(medium)
+        assert result.plan.relations == medium.all_relations_mask
+        large = snowflake_query(60, seed=3)
+        result_large = AdaptiveLinDP(linearized_threshold=40, idp_k=20).optimize(large)
+        assert result_large.plan.relations == large.all_relations_mask
+
+    def test_can_produce_bushy_plans(self):
+        # On a snowflake with several independent branches the interval DP
+        # should find at least one bushy split for some seed.
+        bushy_found = False
+        for seed in range(6):
+            query = snowflake_query(14, seed=seed)
+            plan = LinearizedDP().optimize(query).plan
+            if plan.is_bushy():
+                bushy_found = True
+                break
+        assert bushy_found
+
+
+class TestUnionDP:
+    def test_requires_sane_k(self):
+        with pytest.raises(ValueError):
+            UnionDP(k=1)
+
+    def test_equals_exact_when_k_covers_query(self):
+        query = snowflake_query(9, seed=9)
+        assert UnionDP(k=9).optimize(query).cost == pytest.approx(
+            MPDP().optimize(query).cost, rel=1e-9)
+
+    def test_partition_sizes_respect_k(self):
+        query = snowflake_query(40, seed=13)
+        uniondp = UnionDP(k=7)
+        partitions = uniondp._partition(query)
+        assert all(bms.popcount(p) <= 7 for p in partitions)
+        covered = 0
+        for partition in partitions:
+            assert covered & partition == 0
+            covered |= partition
+        assert covered == query.all_relations_mask
+
+    def test_partitions_are_connected(self):
+        from repro.core.connectivity import is_connected
+        query = random_connected_query(30, extra_edge_probability=0.1, seed=17)
+        partitions = UnionDP(k=6)._partition(query)
+        for partition in partitions:
+            assert is_connected(query.graph, partition)
+
+    def test_handles_large_star_and_snowflake(self):
+        for maker in (star_query, snowflake_query):
+            query = maker(45, seed=21)
+            result = UnionDP(k=8).optimize(query)
+            assert result.plan.relations == query.all_relations_mask
+            result.plan.validate()
+
+    def test_competitive_with_goo_on_snowflake(self):
+        query = snowflake_query(40, seed=23, selection_probability=0.8)
+        goo_cost = GOO().optimize(query).cost
+        uniondp_cost = UnionDP(k=10).optimize(query).cost
+        assert uniondp_cost <= goo_cost * 1.5

@@ -1,0 +1,127 @@
+"""End-to-end integration tests spanning SQL, optimization, execution and heuristics."""
+
+import pytest
+
+from repro.bench import instance_for_algorithm, optimization_cost_cents
+from repro.catalog import Catalog
+from repro.core import bitmapset as bms
+from repro.execution import CostBasedRuntimeModel, InMemoryExecutor, SyntheticDataset
+from repro.gpu import DPSubGpu, MPDPGpu
+from repro.heuristics import GOO, IDP2, UnionDP
+from repro.optimizers import DPCcp, DPSub, MPDP
+from repro.parallel import ParallelCPUModel
+from repro.sql import parse_join_query
+from repro.workloads import (
+    build_musicbrainz_catalog,
+    musicbrainz_query,
+    snowflake_query,
+    star_query,
+)
+
+
+class TestSqlToExecutionPipeline:
+    def test_parse_optimize_execute(self):
+        """The full user journey: SQL text -> plan -> rows."""
+        catalog = Catalog()
+        for name, rows in [("orders", 8_000), ("lineitem", 30_000), ("customer", 2_000)]:
+            table = catalog.add_table(name, rows)
+            table.add_column("id", is_primary_key=True)
+        catalog.table("lineitem").add_column("order_id", n_distinct=8_000)
+        catalog.table("orders").add_column("customer_id", n_distinct=2_000)
+        catalog.add_foreign_key("lineitem", "order_id", "orders", "id")
+        catalog.add_foreign_key("orders", "customer_id", "customer", "id")
+
+        sql = ("select 1 from lineitem, orders, customer "
+               "where lineitem.order_id = orders.id and orders.customer_id = customer.id")
+        query = parse_join_query(sql, catalog).query
+
+        plans = {name: cls().optimize(query).plan for name, cls in
+                 [("MPDP", MPDP), ("DPccp", DPCcp), ("GOO", GOO)]}
+        dataset = SyntheticDataset(query, scale=1.0, max_rows=30_000, seed=3)
+        executor = InMemoryExecutor(dataset)
+        row_counts = {name: executor.execute(plan).rows for name, plan in plans.items()}
+        assert len(set(row_counts.values())) == 1
+        # Every lineitem matches exactly one order and one customer.
+        assert row_counts["MPDP"] == dataset.rows(query.graph.relation_names.index("lineitem"))
+
+
+class TestMusicBrainzEndToEnd:
+    def test_exact_pipeline_with_gpu_and_parallel_models(self):
+        query = musicbrainz_query(13, seed=8)
+        cpu = MPDP().optimize(query)
+        gpu = MPDPGpu().optimize(query)
+        baseline_gpu = DPSubGpu().optimize(query)
+        assert gpu.cost == pytest.approx(cpu.cost, rel=1e-9)
+        # MPDP's simulated GPU time should not exceed the DPsub baseline's.
+        assert gpu.stats.extra["gpu_total_seconds"] <= baseline_gpu.stats.extra["gpu_total_seconds"] * 1.2
+
+        model = ParallelCPUModel()
+        t1 = model.simulate(cpu.stats, 1, "MPDP")
+        t24 = model.simulate(cpu.stats, 24, "MPDP")
+        assert t24 < t1
+
+        instance = instance_for_algorithm("MPDP (GPU)")
+        cents = optimization_cost_cents(gpu.stats.extra["gpu_total_seconds"], instance)
+        assert cents > 0
+
+    def test_execution_vs_optimization_ratio_shape(self):
+        """Figure 10's qualitative claim: with a fast optimizer the execution
+        time dominates, i.e. the ratio exec/opt stays well above what the slow
+        exhaustive baseline achieves on the same query."""
+        query = musicbrainz_query(11, seed=5)
+        runtime_model = CostBasedRuntimeModel()
+        fast = MPDPGpu().optimize(query)
+        slow = DPSub(unrank_filter=True).optimize(query)
+        execution_seconds = runtime_model.runtime_seconds(fast.plan)
+        fast_ratio = execution_seconds / fast.stats.extra["gpu_total_seconds"]
+        slow_ratio = execution_seconds / max(slow.stats.wall_time_seconds, 1e-9)
+        assert fast_ratio > slow_ratio
+
+
+class TestHeuristicsAtScale:
+    def test_idp2_and_uniondp_on_100_relation_snowflake(self):
+        query = snowflake_query(100, seed=31)
+        goo = GOO().optimize(query)
+        idp2 = IDP2(k=8, max_iterations=6).optimize(query)
+        uniondp = UnionDP(k=8).optimize(query)
+        for result in (goo, idp2, uniondp):
+            result.plan.validate()
+            assert result.plan.relations == query.all_relations_mask
+        # The MPDP-powered heuristics explore a superset of GOO's space, so
+        # they should not be dramatically worse than GOO.
+        assert idp2.cost <= goo.cost * 2.0
+        assert uniondp.cost <= goo.cost * 2.0
+
+    def test_star_schema_heuristics_find_near_exact_plans(self):
+        query = star_query(14, seed=9, selection_probability=1.0)
+        # 14 relations is still exactly optimizable with MPDP in test time.
+        exact = MPDP().optimize(query)
+        for heuristic in (IDP2(k=10), UnionDP(k=10)):
+            cost = heuristic.optimize(query).cost
+            assert cost <= exact.cost * 1.6
+
+    def test_contracted_plans_round_trip_to_root_relations(self):
+        query = snowflake_query(40, seed=12)
+        result = UnionDP(k=6).optimize(query)
+        leaves = sorted(leaf.relation_index for leaf in result.plan.iter_leaves())
+        assert leaves == list(range(40))
+        assert bms.popcount(result.plan.relations) == 40
+
+
+class TestHeuristicFallbackStory:
+    def test_mpdp_extends_exact_reach_over_dpsub(self):
+        """Section 1: for the same budget of evaluated join pairs, MPDP can
+        solve larger star queries exactly than DPsub can (the rest of the
+        paper's 12 -> 25 relation jump comes from GPU parallelism, which the
+        GPU model covers separately)."""
+        from repro.analysis import star_dpsub_evaluated_pairs, star_mpdp_evaluated_pairs
+
+        budget = DPSub().optimize(star_query(10, seed=2)).stats.evaluated_pairs
+        # MPDP stays below the same pair budget on a bigger query...
+        mpdp_pairs = MPDP().optimize(star_query(12, seed=2)).stats.evaluated_pairs
+        assert mpdp_pairs < budget
+        # ... and the analytic counters show the gap keeps widening at the
+        # paper's scale: MPDP at 25 relations evaluates orders of magnitude
+        # fewer pairs than DPsub would at 25 relations.
+        assert star_mpdp_evaluated_pairs(25) * 50 < star_dpsub_evaluated_pairs(25)
+        assert star_mpdp_evaluated_pairs(14) < star_dpsub_evaluated_pairs(12)

@@ -1,0 +1,123 @@
+"""Tests for the join graph representation."""
+
+import pytest
+
+from repro.core import bitmapset as bms
+from repro.core.joingraph import JoinEdge, JoinGraph
+
+
+@pytest.fixture
+def chain_graph():
+    graph = JoinGraph(4, ["a", "b", "c", "d"])
+    graph.add_edge(0, 1, 0.1)
+    graph.add_edge(1, 2, 0.2)
+    graph.add_edge(2, 3, 0.3)
+    return graph
+
+
+class TestJoinEdge:
+    def test_endpoints_ordered(self):
+        edge = JoinEdge(5, 2, 0.5)
+        assert edge.endpoints == (2, 5)
+        assert edge.mask == bms.bit(2) | bms.bit(5)
+
+    def test_self_join_rejected(self):
+        with pytest.raises(ValueError):
+            JoinEdge(1, 1, 0.5)
+
+    @pytest.mark.parametrize("selectivity", [0.0, -0.5, 1.5])
+    def test_invalid_selectivity(self, selectivity):
+        with pytest.raises(ValueError):
+            JoinEdge(0, 1, selectivity)
+
+    def test_selectivity_of_one_allowed(self):
+        assert JoinEdge(0, 1, 1.0).selectivity == 1.0
+
+
+class TestConstruction:
+    def test_requires_positive_relations(self):
+        with pytest.raises(ValueError):
+            JoinGraph(0)
+
+    def test_default_relation_names(self):
+        graph = JoinGraph(3)
+        assert graph.relation_names == ["R0", "R1", "R2"]
+
+    def test_name_length_mismatch(self):
+        with pytest.raises(ValueError):
+            JoinGraph(3, ["a", "b"])
+
+    def test_add_edge_out_of_range(self):
+        graph = JoinGraph(2)
+        with pytest.raises(ValueError):
+            graph.add_edge(0, 2)
+
+    def test_duplicate_edge_keeps_more_selective(self):
+        graph = JoinGraph(2)
+        graph.add_edge(0, 1, 0.5)
+        merged = graph.add_edge(1, 0, 0.2, is_pk_fk=True)
+        assert graph.n_edges == 1
+        assert merged.selectivity == 0.2
+        assert merged.is_pk_fk
+        assert graph.edge_between(0, 1).selectivity == 0.2
+
+    def test_close_equivalence_classes(self):
+        graph = JoinGraph(4)
+        graph.add_edge(0, 1)
+        graph.add_edge(1, 2)
+        added = graph.close_equivalence_classes([[0, 1, 2]])
+        assert added == 1
+        assert graph.has_edge(0, 2)
+        # Closing again adds nothing.
+        assert graph.close_equivalence_classes([[0, 1, 2]]) == 0
+
+
+class TestQueries:
+    def test_all_relations_mask(self, chain_graph):
+        assert chain_graph.all_relations_mask == 0b1111
+
+    def test_adjacency(self, chain_graph):
+        assert chain_graph.adjacency(0) == bms.bit(1)
+        assert chain_graph.adjacency(1) == bms.bit(0) | bms.bit(2)
+        with pytest.raises(ValueError):
+            chain_graph.adjacency(9)
+
+    def test_degree(self, chain_graph):
+        assert chain_graph.degree(0) == 1
+        assert chain_graph.degree(1) == 2
+
+    def test_neighbours_of_set(self, chain_graph):
+        middle = bms.from_indices([1, 2])
+        assert chain_graph.neighbours_of_set(middle) == bms.from_indices([0, 3])
+        assert chain_graph.neighbours_of_set(chain_graph.all_relations_mask) == 0
+
+    def test_is_connected_to(self, chain_graph):
+        assert chain_graph.is_connected_to(bms.bit(0), bms.bit(1))
+        assert not chain_graph.is_connected_to(bms.bit(0), bms.bit(3))
+        assert chain_graph.is_connected_to(bms.from_indices([0, 1]), bms.from_indices([2, 3]))
+
+    def test_edges_within(self, chain_graph):
+        inner = list(chain_graph.edges_within(bms.from_indices([0, 1, 2])))
+        assert {edge.endpoints for edge in inner} == {(0, 1), (1, 2)}
+
+    def test_edges_between(self, chain_graph):
+        crossing = list(chain_graph.edges_between(bms.from_indices([0, 1]),
+                                                  bms.from_indices([2, 3])))
+        assert {edge.endpoints for edge in crossing} == {(1, 2)}
+
+    def test_edge_between_missing(self, chain_graph):
+        assert chain_graph.edge_between(0, 3) is None
+        assert not chain_graph.has_edge(0, 3)
+
+    def test_induced_adjacency(self, chain_graph):
+        induced = chain_graph.induced_adjacency(bms.from_indices([0, 1, 3]))
+        assert induced[0] == bms.bit(1)
+        assert induced[1] == bms.bit(0)
+        assert induced[3] == 0
+
+    def test_copy_is_independent(self, chain_graph):
+        clone = chain_graph.copy()
+        clone.add_edge(0, 3, 0.9)
+        assert clone.n_edges == 4
+        assert chain_graph.n_edges == 3
+        assert clone.relation_names == chain_graph.relation_names

@@ -1,0 +1,164 @@
+"""Tests for QueryInfo: cardinalities, plan construction, contraction."""
+
+import pytest
+
+from repro.core import bitmapset as bms
+from repro.core.joingraph import JoinGraph
+from repro.core.query import QueryInfo
+from repro.cost import CoutCostModel, PostgresCostModel
+from repro.optimizers import MPDP
+from repro.workloads import snowflake_query, star_query
+
+
+def small_chain_query():
+    graph = JoinGraph(4, ["a", "b", "c", "d"])
+    graph.add_edge(0, 1, 0.01)
+    graph.add_edge(1, 2, 0.05)
+    graph.add_edge(2, 3, 0.1)
+    return QueryInfo(graph, [1000.0, 2000.0, 500.0, 100.0], PostgresCostModel(), name="chain4")
+
+
+class TestBasics:
+    def test_requires_cardinalities(self):
+        graph = JoinGraph(2)
+        graph.add_edge(0, 1, 0.5)
+        with pytest.raises(ValueError):
+            QueryInfo(graph)
+
+    def test_shape_properties(self):
+        query = small_chain_query()
+        assert query.n_relations == 4
+        assert query.all_relations_mask == 0b1111
+        assert not query.is_contracted
+
+    def test_rows_delegates_to_estimator(self):
+        query = small_chain_query()
+        assert query.rows(0b0011) == pytest.approx(1000 * 2000 * 0.01)
+
+    def test_leaf_plan_cached(self):
+        query = small_chain_query()
+        assert query.leaf_plan(0) is query.leaf_plan(0)
+        assert query.leaf_plan(0).rows == 1000.0
+
+    def test_join_requires_disjoint_sets(self):
+        query = small_chain_query()
+        with pytest.raises(ValueError):
+            query.join(0b01, 0b01, query.leaf_plan(0), query.leaf_plan(0))
+
+    def test_join_builds_costed_plan(self):
+        query = small_chain_query()
+        plan = query.join(0b01, 0b10, query.leaf_plan(0), query.leaf_plan(1))
+        assert plan.relations == 0b11
+        assert plan.rows == pytest.approx(query.rows(0b11))
+        assert plan.cost > 0
+
+    def test_edge_weight_positive(self):
+        query = small_chain_query()
+        assert query.edge_weight(0, 1) > 0
+
+    def test_vertex_masks_default_identity(self):
+        query = small_chain_query()
+        assert query.vertex_masks == [0b1, 0b10, 0b100, 0b1000]
+        assert query.root_mask_of(0b101) == 0b101
+
+    def test_vertices_covering_identity(self):
+        query = small_chain_query()
+        assert query.vertices_covering(0b101) == 0b101
+        assert query.vertices_covering(0) == 0
+
+    def test_validation_of_vertex_masks_length(self):
+        graph = JoinGraph(2)
+        graph.add_edge(0, 1, 0.5)
+        with pytest.raises(ValueError):
+            QueryInfo(graph, [10, 10], vertex_masks=[1])
+
+
+class TestRecost:
+    def test_recost_under_other_model(self):
+        query = small_chain_query()
+        result = MPDP().optimize(query)
+        cout_query = QueryInfo(query.graph, query.cardinality.base_cardinalities,
+                               CoutCostModel(), name="cout")
+        recosted = cout_query.recost(result.plan)
+        assert recosted.relations == result.plan.relations
+        # C_out cost of the same tree equals the sum of intermediate sizes.
+        expected = sum(node.rows for node in result.plan.iter_joins())
+        assert recosted.cost == pytest.approx(expected, rel=1e-6)
+
+    def test_plan_cost_matches_recost(self):
+        query = small_chain_query()
+        result = MPDP().optimize(query)
+        assert query.plan_cost(result.plan) == pytest.approx(result.cost, rel=1e-9)
+
+
+class TestContraction:
+    def test_contract_validation(self):
+        query = small_chain_query()
+        plan01 = MPDP().optimize(query, subset=0b0011).plan
+        with pytest.raises(ValueError):
+            query.contract([0b0011], [plan01])  # does not cover everything
+        with pytest.raises(ValueError):
+            query.contract([0b0011, 0b0110, 0b1000],
+                           [plan01, plan01, query.leaf_plan(3)])  # overlap
+        with pytest.raises(ValueError):
+            query.contract([0b0011, 0b1100], [plan01])  # plan count mismatch
+
+    def test_contract_preserves_cardinalities(self):
+        query = small_chain_query()
+        plan01 = MPDP().optimize(query, subset=0b0011).plan
+        contracted = query.contract([0b0011, 0b0100, 0b1000],
+                                    [plan01, query.leaf_plan(2), query.leaf_plan(3)])
+        assert contracted.is_contracted
+        assert contracted.n_relations == 3
+        # Vertex 0 of the contracted query covers original relations {0, 1}.
+        assert contracted.vertex_masks[0] == 0b0011
+        # Joining everything gives the same cardinality as in the original.
+        assert contracted.rows(contracted.all_relations_mask) == pytest.approx(
+            query.rows(query.all_relations_mask))
+
+    def test_contract_edges_connect_adjacent_partitions(self):
+        query = small_chain_query()
+        plan01 = MPDP().optimize(query, subset=0b0011).plan
+        contracted = query.contract([0b0011, 0b0100, 0b1000],
+                                    [plan01, query.leaf_plan(2), query.leaf_plan(3)])
+        # chain a-b | c | d: partition 0 touches c, c touches d, 0 not adjacent d.
+        assert contracted.graph.has_edge(0, 1)
+        assert contracted.graph.has_edge(1, 2)
+        assert not contracted.graph.has_edge(0, 2)
+
+    def test_contract_leaf_plans_are_used(self):
+        query = small_chain_query()
+        plan01 = MPDP().optimize(query, subset=0b0011).plan
+        contracted = query.contract([0b0011, 0b0100, 0b1000],
+                                    [plan01, query.leaf_plan(2), query.leaf_plan(3)])
+        assert contracted.leaf_plan(0) is plan01
+        # Optimizing the contracted query yields a plan over the *original*
+        # relation space that covers every original relation.
+        result = MPDP().optimize(contracted)
+        assert result.plan.relations == query.all_relations_mask
+        result.plan.validate()
+
+    def test_contracted_plan_cost_at_least_flat_optimum(self):
+        query = snowflake_query(9, seed=5)
+        optimal = MPDP().optimize(query)
+        sub = 0
+        # Contract an arbitrary connected pair to simulate one IDP2 step.
+        edge = query.graph.edges[0]
+        sub = bms.bit(edge.left) | bms.bit(edge.right)
+        sub_plan = MPDP().optimize(query, subset=sub).plan
+        partitions = [sub] + [bms.bit(v) for v in bms.iter_bits(query.all_relations_mask & ~sub)]
+        plans = [sub_plan] + [query.leaf_plan(v) for v in bms.iter_bits(query.all_relations_mask & ~sub)]
+        contracted = query.contract(partitions, plans)
+        contracted_result = MPDP().optimize(contracted)
+        assert contracted_result.cost >= optimal.cost - 1e-9
+
+    def test_vertices_covering_contracted(self):
+        query = small_chain_query()
+        plan01 = MPDP().optimize(query, subset=0b0011).plan
+        contracted = query.contract([0b0011, 0b0100, 0b1000],
+                                    [plan01, query.leaf_plan(2), query.leaf_plan(3)])
+        # Root relations {0,1} map to contracted vertex 0.
+        assert contracted.vertices_covering(0b0011) == 0b001
+        # Root relations {0} cut through the composite vertex -> None.
+        assert contracted.vertices_covering(0b0001) is None
+        assert contracted.vertices_covering(0b1111) == 0b111

@@ -1,0 +1,140 @@
+"""Tests for the minimal SQL front end."""
+
+import pytest
+
+from repro.catalog import Catalog
+from repro.optimizers import MPDP
+from repro.sql import SQLParseError, parse_join_query
+
+
+@pytest.fixture
+def tpch_catalog():
+    catalog = Catalog()
+    specs = {
+        "lineitem": 6_000_000,
+        "orders": 1_500_000,
+        "part": 200_000,
+        "customer": 150_000,
+    }
+    for name, rows in specs.items():
+        table = catalog.add_table(name, rows)
+        table.add_column(f"{name[0]}_key", is_primary_key=True)
+    catalog.table("lineitem").add_column("l_orderkey", n_distinct=1_500_000)
+    catalog.table("lineitem").add_column("l_partkey", n_distinct=200_000)
+    catalog.table("orders").add_column("o_orderkey", n_distinct=1_500_000)
+    catalog.table("orders").add_column("o_custkey", n_distinct=150_000)
+    catalog.table("part").add_column("p_partkey", n_distinct=200_000)
+    catalog.table("customer").add_column("c_custkey", n_distinct=150_000)
+    catalog.add_foreign_key("lineitem", "l_orderkey", "orders", "o_orderkey")
+    catalog.add_foreign_key("lineitem", "l_partkey", "part", "p_partkey")
+    catalog.add_foreign_key("orders", "o_custkey", "customer", "c_custkey")
+    return catalog
+
+
+FIGURE1_QUERY = """
+select o_orderdate from lineitem, orders, part, customer
+where part.p_partkey = lineitem.l_partkey and orders.o_orderkey = lineitem.l_orderkey
+and orders.o_custkey = customer.c_custkey
+"""
+
+
+class TestParsing:
+    def test_figure1_example(self, tpch_catalog):
+        parsed = parse_join_query(FIGURE1_QUERY, tpch_catalog)
+        query = parsed.query
+        assert query.n_relations == 4
+        assert query.graph.n_edges == 3
+        assert len(parsed.join_predicates) == 3
+        # The join graph of Figure 1: lineitem joins part and orders; orders
+        # joins customer; part and customer have no direct edge.
+        names = query.graph.relation_names
+        lineitem, orders, part, customer = (names.index(n) for n in
+                                            ("lineitem", "orders", "part", "customer"))
+        assert query.graph.has_edge(lineitem, part)
+        assert query.graph.has_edge(lineitem, orders)
+        assert query.graph.has_edge(orders, customer)
+        assert not query.graph.has_edge(part, customer)
+
+    def test_parsed_query_is_optimizable(self, tpch_catalog):
+        query = parse_join_query(FIGURE1_QUERY, tpch_catalog).query
+        result = MPDP().optimize(query)
+        result.plan.validate()
+        assert result.plan.relations == query.all_relations_mask
+
+    def test_aliases(self, tpch_catalog):
+        sql = ("select 1 from lineitem l, orders as o "
+               "where l.l_orderkey = o.o_orderkey")
+        parsed = parse_join_query(sql, tpch_catalog)
+        assert parsed.aliases == {"l": "lineitem", "o": "orders"}
+        assert parsed.query.n_relations == 2
+
+    def test_pk_fk_detection_and_selectivity(self, tpch_catalog):
+        sql = "select 1 from lineitem, orders where lineitem.l_orderkey = orders.o_orderkey"
+        query = parse_join_query(sql, tpch_catalog).query
+        edge = query.graph.edges[0]
+        assert edge.is_pk_fk
+        assert edge.selectivity == pytest.approx(1.0 / 1_500_000)
+
+    def test_filter_predicates_scale_cardinality(self, tpch_catalog):
+        sql = ("select 1 from lineitem, orders "
+               "where lineitem.l_orderkey = orders.o_orderkey and orders.o_orderkey = 42")
+        parsed = parse_join_query(sql, tpch_catalog)
+        orders_index = parsed.query.graph.relation_names.index("orders")
+        assert parsed.query.cardinality.base_rows(orders_index) == pytest.approx(1.0)
+        assert parsed.filter_predicates == ["orders.o_orderkey = 42"]
+
+    def test_range_and_like_filters(self, tpch_catalog):
+        sql = ("select 1 from lineitem, orders "
+               "where lineitem.l_orderkey = orders.o_orderkey "
+               "and orders.o_comment like '%fast%' and lineitem.l_qty < 5")
+        parsed = parse_join_query(sql, tpch_catalog)
+        assert len(parsed.filter_predicates) == 2
+
+    def test_query_without_where(self, tpch_catalog):
+        parsed = parse_join_query("select 1 from lineitem", tpch_catalog)
+        assert parsed.query.n_relations == 1
+        assert parsed.join_predicates == []
+
+
+class TestErrors:
+    def test_unknown_table(self, tpch_catalog):
+        with pytest.raises(SQLParseError):
+            parse_join_query("select 1 from nation", tpch_catalog)
+
+    def test_unknown_alias_in_predicate(self, tpch_catalog):
+        with pytest.raises(SQLParseError):
+            parse_join_query(
+                "select 1 from lineitem where x.l_orderkey = lineitem.l_orderkey",
+                tpch_catalog)
+
+    def test_missing_from(self, tpch_catalog):
+        with pytest.raises(SQLParseError):
+            parse_join_query("select 1", tpch_catalog)
+
+    def test_or_predicates_rejected(self, tpch_catalog):
+        with pytest.raises(SQLParseError):
+            parse_join_query(
+                "select 1 from lineitem, orders where lineitem.l_orderkey = orders.o_orderkey "
+                "or orders.o_orderkey = 3", tpch_catalog)
+
+    def test_explicit_join_syntax_rejected(self, tpch_catalog):
+        with pytest.raises(SQLParseError):
+            parse_join_query(
+                "select 1 from lineitem join orders on lineitem.l_orderkey = orders.o_orderkey",
+                tpch_catalog)
+
+    def test_duplicate_alias_rejected(self, tpch_catalog):
+        with pytest.raises(SQLParseError):
+            parse_join_query("select 1 from lineitem l, orders l", tpch_catalog)
+
+    def test_self_join_predicate_rejected(self, tpch_catalog):
+        with pytest.raises(SQLParseError):
+            parse_join_query(
+                "select 1 from lineitem where lineitem.l_orderkey = lineitem.l_partkey",
+                tpch_catalog)
+
+    def test_unsupported_predicate_shape(self, tpch_catalog):
+        with pytest.raises(SQLParseError):
+            parse_join_query(
+                "select 1 from lineitem, orders where lower(lineitem.x) = orders.o_orderkey",
+                tpch_catalog)

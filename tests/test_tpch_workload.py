@@ -1,0 +1,66 @@
+"""Tests for the TPC-H style workload (the paper's Figure 1 schema)."""
+
+import pytest
+
+from repro.core.connectivity import is_connected
+from repro.optimizers import DPCcp, MPDP
+from repro.workloads import build_tpch_catalog, figure1_query, tpch_join_query
+
+
+class TestCatalog:
+    def test_eight_tables_with_primary_keys(self):
+        catalog = build_tpch_catalog()
+        assert len(catalog) == 8
+        assert catalog.table("lineitem").rows == pytest.approx(6_001_215)
+        assert all(table.primary_key is not None for table in catalog)
+
+    def test_scale_factor(self):
+        small = build_tpch_catalog(scale_factor=0.1)
+        assert small.table("orders").rows == pytest.approx(150_000)
+        # Fixed-size tables do not scale.
+        assert small.table("nation").rows == 25
+        with pytest.raises(ValueError):
+            build_tpch_catalog(scale_factor=0)
+
+    def test_pk_fk_metadata(self):
+        catalog = build_tpch_catalog()
+        assert catalog.is_pk_fk_join("lineitem", "l_orderkey", "orders", "o_orderkey")
+        assert catalog.is_pk_fk_join("orders", "o_custkey", "customer", "c_custkey")
+
+
+class TestFigure1Query:
+    def test_join_graph_shape(self):
+        query = figure1_query()
+        assert query.n_relations == 4
+        assert query.graph.n_edges == 3
+        names = query.graph.relation_names
+        lineitem = names.index("lineitem")
+        # lineitem is the centre: it joins orders and part; orders joins customer.
+        assert query.graph.degree(lineitem) == 2
+
+    def test_optimizers_agree_on_figure1(self):
+        query = figure1_query()
+        mpdp = MPDP().optimize(query)
+        dpccp = DPCcp().optimize(query)
+        assert mpdp.cost == pytest.approx(dpccp.cost, rel=1e-9)
+        mpdp.plan.validate()
+
+
+class TestGeneratedQueries:
+    @pytest.mark.parametrize("n", [2, 4, 6, 8])
+    def test_connected_and_sized(self, n):
+        query = tpch_join_query(n, seed=1)
+        assert query.n_relations == n
+        assert is_connected(query.graph, query.all_relations_mask)
+        assert "lineitem" in query.graph.relation_names
+
+    def test_deterministic(self):
+        a = tpch_join_query(6, seed=3)
+        b = tpch_join_query(6, seed=3)
+        assert a.graph.relation_names == b.graph.relation_names
+
+    def test_size_validation(self):
+        with pytest.raises(ValueError):
+            tpch_join_query(1)
+        with pytest.raises(ValueError):
+            tpch_join_query(9)

@@ -1,0 +1,181 @@
+"""Tests for the workload generators (synthetic, MusicBrainz-like, JOB-like)."""
+
+import pytest
+
+from repro.core import bitmapset as bms
+from repro.core.blocks import find_blocks
+from repro.core.connectivity import is_connected
+from repro.workloads import (
+    build_imdb_catalog,
+    build_musicbrainz_catalog,
+    chain_query,
+    clique_query,
+    cycle_query,
+    job_query,
+    job_query_suite,
+    musicbrainz_query,
+    random_connected_query,
+    snowflake_query,
+    star_query,
+)
+from repro.workloads.musicbrainz import MUSICBRAINZ_FOREIGN_KEYS, MusicBrainzWorkload
+
+
+class TestSyntheticTopologies:
+    @pytest.mark.parametrize("n", [2, 5, 12, 30])
+    def test_star_topology(self, n):
+        query = star_query(n, seed=1)
+        assert query.n_relations == n
+        assert query.graph.n_edges == n - 1
+        assert query.graph.degree(0) == n - 1
+        assert all(query.graph.degree(i) == 1 for i in range(1, n))
+        assert all(edge.is_pk_fk for edge in query.graph.edges)
+
+    @pytest.mark.parametrize("n", [2, 9, 25, 60])
+    def test_snowflake_topology(self, n):
+        query = snowflake_query(n, seed=1, branching=3, max_depth=4)
+        assert query.graph.n_edges == n - 1  # a tree
+        assert is_connected(query.graph, query.all_relations_mask)
+
+    def test_snowflake_respects_max_depth_when_possible(self):
+        query = snowflake_query(20, seed=2, branching=3, max_depth=3)
+        # BFS from the fact table: depth must not exceed 3 edges.
+        depth = {0: 0}
+        frontier = [0]
+        while frontier:
+            vertex = frontier.pop()
+            for neighbour in bms.iter_bits(query.graph.adjacency(vertex)):
+                if neighbour not in depth:
+                    depth[neighbour] = depth[vertex] + 1
+                    frontier.append(neighbour)
+        assert max(depth.values()) <= 3
+
+    @pytest.mark.parametrize("n", [2, 6, 15])
+    def test_chain_topology(self, n):
+        query = chain_query(n, seed=0)
+        assert query.graph.n_edges == n - 1
+        assert query.graph.degree(0) == 1
+        if n > 2:
+            assert query.graph.degree(1) == 2
+
+    @pytest.mark.parametrize("n", [3, 6, 10])
+    def test_cycle_topology(self, n):
+        query = cycle_query(n, seed=0)
+        assert query.graph.n_edges == n
+        decomposition = find_blocks(query.graph, query.all_relations_mask)
+        assert decomposition.n_blocks == 1
+
+    @pytest.mark.parametrize("n", [2, 5, 8])
+    def test_clique_topology(self, n):
+        query = clique_query(n, seed=0)
+        assert query.graph.n_edges == n * (n - 1) // 2
+
+    def test_random_query_is_connected_and_seeded(self):
+        a = random_connected_query(12, seed=3)
+        b = random_connected_query(12, seed=3)
+        assert is_connected(a.graph, a.all_relations_mask)
+        assert [e.endpoints for e in a.graph.edges] == [e.endpoints for e in b.graph.edges]
+        assert a.cardinality.base_cardinalities == b.cardinality.base_cardinalities
+
+    def test_seed_changes_instance(self):
+        a = star_query(10, seed=1)
+        b = star_query(10, seed=2)
+        assert a.cardinality.base_cardinalities != b.cardinality.base_cardinalities
+
+    def test_size_validation(self):
+        with pytest.raises(ValueError):
+            star_query(1)
+        with pytest.raises(ValueError):
+            snowflake_query(1)
+        with pytest.raises(ValueError):
+            cycle_query(2)
+        with pytest.raises(ValueError):
+            clique_query(1)
+
+    def test_star_selections_scale_dimensions_only(self):
+        query = star_query(10, seed=5, fact_rows=1234.0, selection_probability=1.0)
+        assert query.cardinality.base_rows(0) == 1234.0
+
+    def test_pk_fk_selectivities_produce_sane_cardinalities(self):
+        query = star_query(5, seed=7, selection_probability=0.0)
+        # Joining the fact table with all dimension PKs keeps ~fact cardinality.
+        rows = query.rows(query.all_relations_mask)
+        assert rows == pytest.approx(query.cardinality.base_rows(0), rel=1e-6)
+
+
+class TestMusicBrainz:
+    def test_catalog_has_56_tables_with_primary_keys(self):
+        catalog = build_musicbrainz_catalog()
+        assert len(catalog) == 56
+        assert all(table.primary_key is not None for table in catalog)
+        assert len(catalog.foreign_keys) == len(MUSICBRAINZ_FOREIGN_KEYS)
+
+    def test_foreign_keys_reference_existing_tables(self):
+        catalog = build_musicbrainz_catalog()
+        for child, column, parent in MUSICBRAINZ_FOREIGN_KEYS:
+            assert catalog.has_table(child), child
+            assert catalog.has_table(parent), parent
+            assert column in catalog.table(child).columns
+
+    @pytest.mark.parametrize("n", [2, 8, 15, 25])
+    def test_query_size_and_connectivity(self, n):
+        query = musicbrainz_query(n, seed=3)
+        assert query.n_relations == n
+        assert is_connected(query.graph, query.all_relations_mask)
+        assert query.graph.n_edges >= n - 1
+
+    def test_queries_can_contain_cycles(self):
+        found_cycle = False
+        for seed in range(25):
+            query = musicbrainz_query(12, seed=seed)
+            if query.graph.n_edges > query.n_relations - 1:
+                found_cycle = True
+                break
+        assert found_cycle
+
+    def test_determinism(self):
+        a = musicbrainz_query(10, seed=4)
+        b = musicbrainz_query(10, seed=4)
+        assert a.graph.relation_names == b.graph.relation_names
+
+    def test_non_pk_fk_fraction(self):
+        query = musicbrainz_query(12, seed=5, non_pk_fk_fraction=1.0)
+        assert all(not edge.is_pk_fk for edge in query.graph.edges)
+
+    def test_size_validation(self):
+        workload = MusicBrainzWorkload()
+        with pytest.raises(ValueError):
+            workload.query(1)
+        with pytest.raises(ValueError):
+            workload.query(100)
+
+
+class TestJOB:
+    def test_catalog_shape(self):
+        catalog = build_imdb_catalog()
+        assert len(catalog) == 21
+        assert catalog.table("title").primary_key is not None
+
+    @pytest.mark.parametrize("n", [2, 6, 10, 17])
+    def test_query_contains_title_and_is_connected(self, n):
+        query = job_query(n, seed=1)
+        assert "title" in query.graph.relation_names
+        assert query.n_relations == n
+        assert is_connected(query.graph, query.all_relations_mask)
+
+    def test_query_suite_covers_requested_sizes(self):
+        suite = job_query_suite(sizes=[4, 8], queries_per_size=2)
+        assert set(suite) == {4, 8}
+        assert all(len(queries) == 2 for queries in suite.values())
+
+    def test_size_validation(self):
+        with pytest.raises(ValueError):
+            job_query(1)
+        with pytest.raises(ValueError):
+            job_query(40)
+
+    def test_selections_reduce_base_rows(self):
+        catalog = build_imdb_catalog()
+        query = job_query(10, seed=3, selection_probability=1.0)
+        for index, name in enumerate(query.graph.relation_names):
+            assert query.cardinality.base_rows(index) <= catalog.table(name).rows
