@@ -3,6 +3,10 @@
 The benchmark and test suites should run even when the package has not been
 pip-installed (the offline environment makes editable installs awkward), so
 the source tree is added to ``sys.path`` here.
+
+Also registers the ``perf_smoke`` marker: fast wall-clock guards that run as
+part of tier-1 and fail on catastrophic performance regressions of the
+enumeration engine.  Run just those with ``pytest -m perf_smoke``.
 """
 
 import os
@@ -11,3 +15,11 @@ import sys
 _SRC = os.path.join(os.path.dirname(__file__), "src")
 if _SRC not in sys.path:
     sys.path.insert(0, _SRC)
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "perf_smoke: fast wall-clock guard against catastrophic enumeration "
+        "regressions (part of tier-1; select with -m perf_smoke)",
+    )

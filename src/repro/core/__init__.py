@@ -6,6 +6,7 @@ and simulator in the repository.
 
 from . import bitmapset
 from .joingraph import JoinEdge, JoinGraph
+from .enumeration import ConnectedSubsetIndex, EnumerationContext
 from .connectivity import (
     connected_components,
     count_ccp_pairs,
@@ -24,6 +25,8 @@ __all__ = [
     "bitmapset",
     "JoinEdge",
     "JoinGraph",
+    "ConnectedSubsetIndex",
+    "EnumerationContext",
     "grow",
     "is_connected",
     "connected_components",

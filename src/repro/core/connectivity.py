@@ -18,13 +18,26 @@ These are the building blocks of every enumeration algorithm in the paper:
 * :func:`count_ccp_pairs` — the query's CCP-Counter, i.e. the total number of
   csg–cmp pairs, computed independently of any optimizer so that tests can
   cross-check every algorithm's counter against it.
+
+Since the introduction of the incremental enumeration engine
+(:mod:`repro.core.enumeration`) these functions are thin compatibility
+wrappers over a per-graph :class:`~repro.core.enumeration.EnumerationContext`:
+results are memoized on the graph, and the level sets ``S_i`` are materialised
+incrementally (``S_i`` from ``S_{i-1}``, each exactly once per scope) instead
+of being re-derived from singletons at every call.  New code — in particular
+the DP inner loops — should hold an ``EnumerationContext`` directly and call
+its methods; these wrappers pay one context lookup per call.  The seed's
+from-scratch enumerator is preserved as
+:func:`iter_connected_subsets_of_size_baseline` so benchmarks and tests can
+measure and cross-check the engine against it (see ``PERFORMANCE.md``).
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Set
+from typing import Iterator, List, Optional, Set
 
 from . import bitmapset as bms
+from .enumeration import EnumerationContext
 from .joingraph import JoinGraph
 
 __all__ = [
@@ -32,6 +45,7 @@ __all__ = [
     "is_connected",
     "connected_components",
     "iter_connected_subsets_of_size",
+    "iter_connected_subsets_of_size_baseline",
     "iter_connected_subsets_bruteforce",
     "count_ccp_pairs",
     "count_connected_subsets",
@@ -45,14 +59,7 @@ def grow(graph: JoinGraph, source: int, restricted: int) -> int:
     function: iteratively add every restricted node adjacent to the current
     set until a fixpoint is reached.
     """
-    if source & ~restricted:
-        raise ValueError("source nodes must be a subset of the restricted nodes")
-    reached = source
-    while True:
-        frontier = graph.neighbours_of_set(reached) & restricted
-        if not frontier:
-            return reached
-        reached |= frontier
+    return EnumerationContext.of(graph).grow(source, restricted)
 
 
 def is_connected(graph: JoinGraph, mask: int) -> bool:
@@ -60,22 +67,26 @@ def is_connected(graph: JoinGraph, mask: int) -> bool:
 
     The empty set is not connected; a singleton is.
     """
-    if mask == 0:
-        return False
-    start = bms.lowest_bit(mask)
-    return grow(graph, start, mask) == mask
+    return EnumerationContext.of(graph).is_connected(mask)
 
 
 def connected_components(graph: JoinGraph, mask: int) -> List[int]:
     """Connected components of the subgraph induced by ``mask`` (as bitmaps)."""
-    components: List[int] = []
-    remaining = mask
-    while remaining:
-        start = bms.lowest_bit(remaining)
-        component = grow(graph, start, remaining)
-        components.append(component)
-        remaining &= ~component
-    return components
+    return EnumerationContext.of(graph).connected_components(mask)
+
+
+def _is_connected_uncached(graph: JoinGraph, mask: int) -> bool:
+    """Cache-free connectivity check used by the brute-force oracle."""
+    if mask == 0:
+        return False
+    reached = frontier = mask & -mask
+    while frontier:
+        raw = 0
+        for vertex in bms.iter_bits(frontier):
+            raw |= graph.adjacency(vertex)
+        frontier = raw & mask & ~reached
+        reached |= frontier
+    return reached == mask
 
 
 def iter_connected_subsets_bruteforce(graph: JoinGraph, size: int) -> Iterator[int]:
@@ -83,7 +94,9 @@ def iter_connected_subsets_bruteforce(graph: JoinGraph, size: int) -> Iterator[i
 
     This mirrors the GPU pipeline's *unrank* + *filter* phases: generate every
     ``C(n, size)`` combination and keep the connected ones.  Exponential in
-    ``n`` — use :func:`iter_connected_subsets_of_size` in CPU code.
+    ``n`` — use :func:`iter_connected_subsets_of_size` in CPU code.  The
+    implementation is deliberately self-contained (no shared caches) so the
+    test suite can use it as an independent oracle for the incremental index.
     """
     n = graph.n_relations
     if size <= 0 or size > n:
@@ -95,7 +108,7 @@ def iter_connected_subsets_bruteforce(graph: JoinGraph, size: int) -> Iterator[i
     mask = (1 << size) - 1
     limit = 1 << n
     while mask < limit:
-        if is_connected(graph, mask):
+        if _is_connected_uncached(graph, mask):
             yield mask
         mask = bms.next_combination(mask)
         if mask == 0:
@@ -106,12 +119,11 @@ def iter_connected_subsets_of_size(graph: JoinGraph, size: int,
                                    within: Optional[int] = None) -> Iterator[int]:
     """Enumerate every connected subset with exactly ``size`` members.
 
-    Uses breadth-first expansion of connected subsets: a connected subset of
-    size ``k`` is a connected subset of size ``k-1`` plus one neighbour.  To
-    avoid duplicates, each subset is emitted only when grown from its
-    canonical parent (the subset minus its highest-index vertex whose removal
-    keeps it connected is not tracked; instead we deduplicate with a seen-set,
-    which is simple and fast enough for the CPU-side DP levels).
+    Serves the level from the graph's incremental
+    :class:`~repro.core.enumeration.ConnectedSubsetIndex`: ``S_size`` is
+    materialised from ``S_{size-1}`` exactly once per ``(graph, within)``
+    scope and then handed out as a cached, sorted tuple — repeated calls (one
+    per DP level) no longer re-expand from singletons.
 
     ``within`` optionally restricts the enumeration to subsets of the given
     vertex bitmap.  This matters when a heuristic (IDP2, UnionDP, LinDP) asks
@@ -119,7 +131,19 @@ def iter_connected_subsets_of_size(graph: JoinGraph, size: int,
     the restriction the enumeration would walk every connected subset of the
     whole graph only to discard almost all of them.
     """
-    n = graph.n_relations
+    yield from EnumerationContext.of(graph).connected_subsets(size, within)
+
+
+def iter_connected_subsets_of_size_baseline(graph: JoinGraph, size: int,
+                                            within: Optional[int] = None) -> Iterator[int]:
+    """The seed's from-scratch ``S_size`` enumerator (kept for benchmarks).
+
+    Re-derives ``S_size`` by ``size - 1`` rounds of breadth-first expansion
+    from singletons on *every* call, deduplicating with a seen-set.  This is
+    the pre-engine behaviour that ``benchmarks/bench_enumeration_engine.py``
+    measures the incremental index against; it enumerates exactly the same
+    subsets in exactly the same (ascending-mask) order.
+    """
     universe = graph.all_relations_mask if within is None else within
     if size <= 0 or size > bms.popcount(universe):
         return
@@ -139,7 +163,7 @@ def iter_connected_subsets_of_size(graph: JoinGraph, size: int,
 def count_connected_subsets(graph: JoinGraph, size: int,
                             within: Optional[int] = None) -> int:
     """Number of connected subsets of exactly ``size`` relations."""
-    return sum(1 for _ in iter_connected_subsets_of_size(graph, size, within=within))
+    return len(EnumerationContext.of(graph).connected_subsets(size, within))
 
 
 def count_ccp_pairs(graph: JoinGraph) -> int:
@@ -151,16 +175,17 @@ def count_ccp_pairs(graph: JoinGraph) -> int:
     value is identical for every optimal DP algorithm (Section 2.1), so tests
     use this function as ground truth for each optimizer's CCP counter.
     """
+    context = EnumerationContext.of(graph)
     total = 0
     for size in range(2, graph.n_relations + 1):
-        for subset in iter_connected_subsets_of_size(graph, size):
+        for subset in context.connected_subsets(size):
             for left in bms.iter_proper_nonempty_subsets(subset):
                 right = subset & ~left
-                if not is_connected(graph, left):
+                if not context.is_connected(left):
                     continue
-                if not is_connected(graph, right):
+                if not context.is_connected(right):
                     continue
-                if not graph.is_connected_to(left, right):
+                if not context.is_connected_to(left, right):
                     continue
                 total += 1
     return total

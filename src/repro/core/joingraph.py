@@ -14,6 +14,7 @@ adds those implied edges.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
@@ -81,6 +82,21 @@ class JoinGraph:
         self._adjacency: List[int] = [0] * n_relations
         self._edges: List[JoinEdge] = []
         self._edge_index: Dict[Tuple[int, int], int] = {}
+        #: Per-edge endpoint bitmaps, parallel to ``_edges``; precomputed once
+        #: so the subset scans below avoid re-deriving them per call.
+        self._edge_masks: List[int] = []
+        #: LRU cache for :meth:`edges_within`, keyed by vertex mask.  The
+        #: reuse comes from repeated optimizer runs on one graph (MPDP:Tree's
+        #: per-candidate ``_edge_splits``, IKKBZ restarts, benchmark sweeps);
+        #: single-visit callers such as the cardinality estimator (which
+        #: memoizes its own per-mask results) insert write-once entries, which
+        #: the LRU bound keeps from crowding out the reused ones.
+        self._edges_within_cache: "OrderedDict[int, Tuple[JoinEdge, ...]]" = OrderedDict()
+        self._edges_within_cache_size = 4096
+        #: Lazily created :class:`~repro.core.enumeration.EnumerationContext`
+        #: (see :meth:`EnumerationContext.of`); dropped whenever an edge is
+        #: added so derived connectivity state never goes stale.
+        self._enum_context = None
 
     # ------------------------------------------------------------------ #
     # Construction
@@ -114,12 +130,24 @@ class JoinGraph:
                 is_pk_fk or existing.is_pk_fk,
             )
             self._edges[existing_pos] = combined
+            # Merging predicates on an existing pair changes selectivity only;
+            # adjacency (and hence the enumeration context) is unaffected, but
+            # the edges_within cache holds the replaced JoinEdge objects.
+            self._edges_within_cache.clear()
             return combined
         self._edge_index[key] = len(self._edges)
         self._edges.append(edge)
+        self._edge_masks.append(edge.mask)
         self._adjacency[left] |= bms.bit(right)
         self._adjacency[right] |= bms.bit(left)
+        self._invalidate_derived_state()
         return edge
+
+    def _invalidate_derived_state(self) -> None:
+        """Drop caches derived from the edge set (called on every mutation)."""
+        if self._edges_within_cache:
+            self._edges_within_cache.clear()
+        self._enum_context = None
 
     def close_equivalence_classes(self, equivalence_classes: Iterable[Iterable[int]],
                                   selectivity: float = 1.0) -> int:
@@ -186,15 +214,32 @@ class JoinGraph:
         """True if at least one edge crosses the two (disjoint) sets."""
         return bool(self.neighbours_of_set(left_mask) & right_mask)
 
-    def edges_within(self, mask: int) -> Iterator[JoinEdge]:
-        """Yield every edge whose two endpoints both lie inside ``mask``."""
-        for edge in self._edges:
-            if bms.is_subset(edge.mask, mask):
-                yield edge
+    def edges_within(self, mask: int) -> Tuple[JoinEdge, ...]:
+        """Every edge whose two endpoints both lie inside ``mask``.
+
+        Results are served from a bounded LRU cache keyed by ``mask``; the
+        cache is invalidated whenever an edge is added.
+        """
+        cache = self._edges_within_cache
+        cached = cache.get(mask)
+        if cached is not None:
+            cache.move_to_end(mask)
+            return cached
+        result = tuple(
+            edge
+            for edge, edge_mask in zip(self._edges, self._edge_masks)
+            if edge_mask & ~mask == 0
+        )
+        if len(cache) >= self._edges_within_cache_size:
+            cache.popitem(last=False)
+        cache[mask] = result
+        return result
 
     def edges_between(self, left_mask: int, right_mask: int) -> Iterator[JoinEdge]:
         """Yield every edge with one endpoint in each of two disjoint sets."""
-        for edge in self._edges:
+        for edge, edge_mask in zip(self._edges, self._edge_masks):
+            if not (edge_mask & left_mask) or not (edge_mask & right_mask):
+                continue
             left_bit = bms.bit(edge.left)
             right_bit = bms.bit(edge.right)
             if (left_bit & left_mask and right_bit & right_mask) or (

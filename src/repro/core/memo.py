@@ -28,6 +28,10 @@ class MemoTable:
 
     def __init__(self) -> None:
         self._best: Dict[int, Plan] = {}
+        #: Size-bucketed key index: popcount -> keys in first-insertion order.
+        #: Maintained by ``put``/``put_unconditionally``/``clear`` so that
+        #: level iteration (DPsize/PDP) is O(bucket) instead of O(table).
+        self._keys_by_size: Dict[int, List[int]] = {}
         self.n_updates = 0
         self.n_improvements = 0
 
@@ -55,6 +59,8 @@ class MemoTable:
         self.n_updates += 1
         current = self._best.get(key)
         if current is None or plan.cost < current.cost:
+            if current is None:
+                self._index_key(key)
             self._best[key] = plan
             self.n_improvements += 1
             return True
@@ -64,18 +70,29 @@ class MemoTable:
         """Overwrite the memo entry regardless of cost (used by IDP rollups)."""
         self.n_updates += 1
         self.n_improvements += 1
+        if key not in self._best:
+            self._index_key(key)
         self._best[key] = plan
+
+    def _index_key(self, key: int) -> None:
+        self._keys_by_size.setdefault(bms.popcount(key), []).append(key)
 
     def items(self) -> Iterator[Tuple[int, Plan]]:
         """Iterate over ``(vertex_set, best_plan)`` entries."""
         return iter(self._best.items())
 
     def keys_of_size(self, size: int) -> List[int]:
-        """All memoised vertex sets with exactly ``size`` members."""
-        return [key for key in self._best if bms.popcount(key) == size]
+        """All memoised vertex sets with exactly ``size`` members.
+
+        Served from the size-bucketed index in O(bucket) — keys appear in the
+        order they were first memoised, matching the scan behaviour this
+        method had when it walked the whole table.
+        """
+        return list(self._keys_by_size.get(size, ()))
 
     def clear(self) -> None:
         """Remove every entry and reset statistics."""
         self._best.clear()
+        self._keys_by_size.clear()
         self.n_updates = 0
         self.n_improvements = 0

@@ -33,6 +33,16 @@ DPsize has no unrank/filter phases because it enumerates pairs of memoised
 plans rather than subsets.  Phase constants are module-level so the ablation
 benchmark (kernel fusion on/off, CCC on/off — Section 7.2.5) and tests can
 reason about them.
+
+The CPU-side realization of the unrank + filter phases (``DPSub`` with
+``unrank_filter=True``) pulls its per-candidate connectivity checks through
+the query graph's shared :class:`~repro.core.enumeration.EnumerationContext`,
+so replaying a level for several simulated devices or ablation settings
+reuses the memoized connectivity state instead of re-running ``grow`` per
+candidate; the charged kernel cycles are unaffected (they model the device,
+not the host).  :func:`repro.core.connectivity.iter_connected_subsets_bruteforce`
+intentionally does *not* share those caches — it is the test suite's
+independent oracle.
 """
 
 from __future__ import annotations

@@ -19,6 +19,7 @@ from __future__ import annotations
 from typing import Optional
 
 from ..core import bitmapset as bms
+from ..core.enumeration import EnumerationContext
 from ..core.query import QueryInfo
 from ..optimizers.base import JoinOrderOptimizer, PlanResult
 from ..optimizers.dpsize import DPSize
@@ -82,6 +83,11 @@ class GPUSimulatedOptimizer:
         for phase, seconds in breakdown.as_dict().items():
             stats.extra[f"gpu_{phase}_seconds"] = seconds
         stats.extra["gpu_total_seconds"] = breakdown.total
+        # The CPU-side unrank/filter/evaluate work behind this simulation ran
+        # through the graph's shared EnumerationContext; expose its cache
+        # sizes so benchmarks can report cross-run enumeration-state reuse.
+        for key, value in EnumerationContext.of(query.graph).cache_info().items():
+            stats.extra[f"enum_{key}"] = float(value)
         return result
 
 

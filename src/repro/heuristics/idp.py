@@ -28,8 +28,8 @@ from __future__ import annotations
 from typing import Callable, List, Optional
 
 from ..core import bitmapset as bms
-from ..core.connectivity import is_connected
 from ..core.counters import OptimizerStats
+from ..core.enumeration import EnumerationContext
 from ..core.memo import MemoTable
 from ..core.plan import Plan
 from ..core.query import QueryInfo
@@ -91,13 +91,14 @@ class IDP1(JoinOrderOptimizer):
         variant's seeding strategy.
         """
         graph = query.graph
+        context = EnumerationContext.of(graph)
         best_edge = min(
             graph.edges,
             key=lambda e: query.rows(bms.bit(e.left) | bms.bit(e.right)),
         )
         fragment = bms.bit(best_edge.left) | bms.bit(best_edge.right)
         while bms.popcount(fragment) < self.k:
-            neighbours = graph.neighbours_of_set(fragment)
+            neighbours = context.neighbours_of_set(fragment)
             if neighbours == 0:
                 break
             best_vertex = min(
@@ -175,6 +176,7 @@ class IDP2(JoinOrderOptimizer):
         """
         best_mask = 0
         best_cost = -1.0
+        context = EnumerationContext.of(query.graph)
         for node in plan.iter_joins():
             vertex_mask = query.vertices_covering(node.relations)
             if vertex_mask is None:
@@ -183,7 +185,7 @@ class IDP2(JoinOrderOptimizer):
             size = bms.popcount(vertex_mask)
             if size > self.k or size < 2:
                 continue
-            if not is_connected(query.graph, vertex_mask):
+            if not context.is_connected(vertex_mask):
                 continue
             if node.cost > best_cost:
                 best_cost = node.cost

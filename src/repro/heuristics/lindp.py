@@ -21,6 +21,7 @@ from typing import Dict, List, Optional, Tuple
 
 from ..core import bitmapset as bms
 from ..core.counters import OptimizerStats
+from ..core.enumeration import EnumerationContext
 from ..core.memo import MemoTable
 from ..core.plan import Plan
 from ..core.query import QueryInfo
@@ -46,7 +47,9 @@ class LinearizedDP(JoinOrderOptimizer):
              memo: MemoTable, stats: OptimizerStats) -> Plan:
         order = self.ikkbz.linear_order(query, subset)
         n = len(order)
-        graph = query.graph
+        # Interval masks recur across splits, so the cross-edge checks below
+        # hit the context's memoized neighbour bitmaps.
+        context = EnumerationContext.of(query.graph)
 
         # Vertex masks of every interval [i, j] of the linear order.
         interval_mask: List[List[int]] = [[0] * n for _ in range(n)]
@@ -72,7 +75,7 @@ class LinearizedDP(JoinOrderOptimizer):
                     left_mask = interval_mask[i][split]
                     right_mask = interval_mask[split + 1][j]
                     stats.record_pair(length, is_ccp=False)
-                    if not graph.is_connected_to(left_mask, right_mask):
+                    if not context.is_connected_to(left_mask, right_mask):
                         continue
                     stats.record_ccp(length)
                     plan = query.join(left_mask, right_mask, left, right)

@@ -19,6 +19,12 @@ by increasing edge weight, where the weight is the cost-model cost of joining
 across the edge), and an edge's endpoints are unioned whenever the merged
 partition would not exceed ``k``.  A Union-Find structure maintains the
 partitions.
+
+All fragment optimizations of one round run against the *same* join graph
+with different ``within=`` scopes, so they share the graph's
+:class:`~repro.core.enumeration.EnumerationContext`: connectivity, neighbour
+and block caches warmed by one partition are reused by the next, and only the
+per-scope connected-subset index is partition-specific (see PERFORMANCE.md).
 """
 
 from __future__ import annotations
@@ -72,6 +78,10 @@ class UnionDP(JoinOrderOptimizer):
 
             partitions = self._partition(current)
             partition_plans: List[Plan] = []
+            # Every fragment below is optimized on ``current``'s graph with a
+            # different ``within=`` scope; the exact algorithm pulls its
+            # enumeration through the graph's shared EnumerationContext, so
+            # mask-keyed caches carry over from partition to partition.
             for partition in partitions:
                 if bms.popcount(partition) == 1:
                     partition_plans.append(current.leaf_plan(bms.lowest_bit_index(partition)))

@@ -22,8 +22,8 @@ from dataclasses import dataclass
 from typing import Optional
 
 from ..core import bitmapset as bms
-from ..core.connectivity import is_connected
 from ..core.counters import OptimizerStats, Stopwatch
+from ..core.enumeration import EnumerationContext
 from ..core.memo import MemoTable
 from ..core.plan import Plan
 from ..core.query import QueryInfo
@@ -83,7 +83,7 @@ class JoinOrderOptimizer(ABC):
             raise OptimizationError("cannot optimize an empty set of relations")
         if not bms.is_subset(subset, query.all_relations_mask):
             raise OptimizationError("subset contains vertices outside the query")
-        if not is_connected(query.graph, subset):
+        if not EnumerationContext.of(query.graph).is_connected(subset):
             raise OptimizationError(
                 f"{self.name}: the join graph induced by {bms.format_set(subset)} is "
                 "disconnected; cross products are not supported"

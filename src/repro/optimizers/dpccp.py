@@ -22,6 +22,7 @@ from typing import Iterator, List, Tuple
 
 from ..core import bitmapset as bms
 from ..core.counters import OptimizerStats
+from ..core.enumeration import EnumerationContext
 from ..core.memo import MemoTable
 from ..core.plan import Plan
 from ..core.query import QueryInfo
@@ -30,15 +31,15 @@ from .base import JoinOrderOptimizer
 __all__ = ["DPCcp", "enumerate_csg_cmp_pairs"]
 
 
-def _neighbourhood(query: QueryInfo, subset_mask: int, of: int) -> int:
+def _neighbourhood(context: EnumerationContext, subset_mask: int, of: int) -> int:
     """Neighbours of ``of`` inside the optimized subset, excluding ``of``."""
-    return query.graph.neighbours_of_set(of) & subset_mask
+    return context.neighbours_of_set(of) & subset_mask
 
 
-def _enumerate_csg_rec(query: QueryInfo, subset_mask: int,
+def _enumerate_csg_rec(context: EnumerationContext, subset_mask: int,
                        current: int, excluded: int) -> Iterator[int]:
     """EnumerateCsgRec: grow ``current`` by subsets of its free neighbourhood."""
-    neighbours = _neighbourhood(query, subset_mask, current) & ~excluded
+    neighbours = _neighbourhood(context, subset_mask, current) & ~excluded
     if neighbours == 0:
         return
     for extension in bms.iter_proper_nonempty_subsets(neighbours):
@@ -46,11 +47,11 @@ def _enumerate_csg_rec(query: QueryInfo, subset_mask: int,
     yield current | neighbours
     new_excluded = excluded | neighbours
     for extension in bms.iter_proper_nonempty_subsets(neighbours):
-        yield from _enumerate_csg_rec(query, subset_mask, current | extension, new_excluded)
-    yield from _enumerate_csg_rec(query, subset_mask, current | neighbours, new_excluded)
+        yield from _enumerate_csg_rec(context, subset_mask, current | extension, new_excluded)
+    yield from _enumerate_csg_rec(context, subset_mask, current | neighbours, new_excluded)
 
 
-def _enumerate_csg(query: QueryInfo, subset_mask: int,
+def _enumerate_csg(context: EnumerationContext, subset_mask: int,
                    order: List[int]) -> Iterator[int]:
     """EnumerateCsg: every connected subgraph, each exactly once."""
     position = {vertex: index for index, vertex in enumerate(order)}
@@ -59,17 +60,17 @@ def _enumerate_csg(query: QueryInfo, subset_mask: int,
         start = bms.bit(vertex)
         yield start
         forbidden = bms.from_indices(order[: index + 1])
-        yield from _enumerate_csg_rec(query, subset_mask, start, forbidden)
+        yield from _enumerate_csg_rec(context, subset_mask, start, forbidden)
 
 
-def _enumerate_cmp(query: QueryInfo, subset_mask: int, order: List[int],
+def _enumerate_cmp(context: EnumerationContext, subset_mask: int, order: List[int],
                    csg: int) -> Iterator[int]:
     """EnumerateCmp: every connected complement of ``csg``, each exactly once."""
     position = {vertex: index for index, vertex in enumerate(order)}
     min_position = min(position[v] for v in bms.iter_bits(csg))
     below_min = bms.from_indices(order[: min_position + 1])
     excluded = below_min | csg
-    neighbours = _neighbourhood(query, subset_mask, csg) & ~excluded
+    neighbours = _neighbourhood(context, subset_mask, csg) & ~excluded
     if neighbours == 0:
         return
     neighbour_list = sorted(bms.iter_bits(neighbours), key=lambda v: position[v], reverse=True)
@@ -79,7 +80,7 @@ def _enumerate_cmp(query: QueryInfo, subset_mask: int, order: List[int],
         lower_neighbours = bms.from_indices(
             v for v in bms.iter_bits(neighbours) if position[v] <= position[vertex]
         )
-        yield from _enumerate_csg_rec(query, subset_mask, start, excluded | lower_neighbours)
+        yield from _enumerate_csg_rec(context, subset_mask, start, excluded | lower_neighbours)
 
 
 def enumerate_csg_cmp_pairs(query: QueryInfo, subset_mask: int) -> Iterator[Tuple[int, int]]:
@@ -90,10 +91,16 @@ def enumerate_csg_cmp_pairs(query: QueryInfo, subset_mask: int) -> Iterator[Tupl
     enumeration respects DP ordering: when a pair is emitted, every connected
     proper subset of either side has already appeared as the first component
     of some earlier pair (or is a single vertex).
+
+    Neighbourhood lookups go through the query graph's shared
+    :class:`~repro.core.enumeration.EnumerationContext`, so the recursive
+    expansion reuses (and warms) the same memoized adjacency state as the
+    other DP algorithms.
     """
+    context = EnumerationContext.of(query.graph)
     order = bms.to_indices(subset_mask)
-    for csg in _enumerate_csg(query, subset_mask, order):
-        for cmp_set in _enumerate_cmp(query, subset_mask, order, csg):
+    for csg in _enumerate_csg(context, subset_mask, order):
+        for cmp_set in _enumerate_cmp(context, subset_mask, order, csg):
             yield csg, cmp_set
 
 

@@ -14,10 +14,9 @@ one size is independent, which is what PDP and DPsize-GPU parallelize.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
-
 from ..core import bitmapset as bms
 from ..core.counters import OptimizerStats
+from ..core.enumeration import EnumerationContext
 from ..core.memo import MemoTable
 from ..core.plan import Plan
 from ..core.query import QueryInfo
@@ -35,38 +34,38 @@ class DPSize(JoinOrderOptimizer):
 
     def _run(self, query: QueryInfo, subset: int,
              memo: MemoTable, stats: OptimizerStats) -> Plan:
-        graph = query.graph
+        # Memoized neighbour bitmaps: each ``left`` operand is paired against
+        # every ``right`` of the complementary size, so its neighbourhood is
+        # looked up many times per level but computed once per distinct mask.
+        context = EnumerationContext.of(query.graph)
         n = bms.popcount(subset)
 
-        # Plans grouped by their number of relations; level 1 = the leaves.
-        plans_by_size: Dict[int, List[int]] = {1: [bms.bit(v) for v in bms.iter_bits(subset)]}
-        for key in plans_by_size[1]:
+        # Level iteration runs over the memo's size-bucketed key index
+        # (O(bucket) per lookup); the leaves were seeded by ``_init_leaves``.
+        for key in memo.keys_of_size(1):
             stats.record_set(1, connected=True)
 
         for size in range(2, n + 1):
-            produced: List[int] = []
             for left_size in range(1, size):
                 right_size = size - left_size
-                left_keys = plans_by_size.get(left_size, [])
-                right_keys = plans_by_size.get(right_size, [])
+                left_keys = memo.keys_of_size(left_size)
+                right_keys = memo.keys_of_size(right_size)
                 for left in left_keys:
                     for right in right_keys:
                         stats.record_pair(size, is_ccp=False)
                         if left & right:
                             continue
-                        if not graph.is_connected_to(left, right):
+                        if not context.is_connected_to(left, right):
                             continue
                         # Valid CCP pair: both operands are connected (they are
                         # memoised plans), disjoint and joined by an edge.
                         stats.record_ccp(size)
                         combined = left | right
                         if combined not in memo:
-                            produced.append(combined)
                             stats.record_set(size, connected=True)
                         left_plan = memo[left]
                         right_plan = memo[right]
                         plan = query.join(left, right, left_plan, right_plan)
                         memo.put(combined, plan)
-            plans_by_size[size] = produced
 
         return memo[subset]

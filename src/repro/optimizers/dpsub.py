@@ -22,12 +22,8 @@ Two candidate-set enumeration modes are provided:
 from __future__ import annotations
 
 from ..core import bitmapset as bms
-from ..core.connectivity import (
-    is_connected,
-    iter_connected_subsets_bruteforce,
-    iter_connected_subsets_of_size,
-)
 from ..core.counters import OptimizerStats
+from ..core.enumeration import EnumerationContext
 from ..core.memo import MemoTable
 from ..core.plan import Plan
 from ..core.query import QueryInfo
@@ -48,22 +44,24 @@ class DPSub(JoinOrderOptimizer):
 
     def _iter_connected_sets(self, query: QueryInfo, subset: int, size: int,
                              stats: OptimizerStats):
-        graph = query.graph
+        context = EnumerationContext.of(query.graph)
         if self.unrank_filter and subset == query.all_relations_mask:
-            # GPU-style: unrank every combination, then filter connectivity.
+            # GPU-style: unrank every combination, then filter connectivity
+            # (the pipeline's unrank + filter phases); the connectivity check
+            # is served by the context's memoized grow results.
             for candidate in _iter_subsets_of_size(subset, size):
-                connected = is_connected(graph, candidate)
+                connected = context.is_connected(candidate)
                 stats.record_set(size, connected)
                 if connected:
                     yield candidate
             return
-        for candidate in iter_connected_subsets_of_size(graph, size, within=subset):
+        for candidate in context.connected_subsets(size, within=subset):
             stats.record_set(size, connected=True)
             yield candidate
 
     def _run(self, query: QueryInfo, subset: int,
              memo: MemoTable, stats: OptimizerStats) -> Plan:
-        graph = query.graph
+        context = EnumerationContext.of(query.graph)
         n = bms.popcount(subset)
 
         for size in range(2, n + 1):
@@ -74,11 +72,11 @@ class DPSub(JoinOrderOptimizer):
                     stats.level_pairs[size] = stats.level_pairs.get(size, 0) + 1
                     right = candidate_set & ~left
                     # --- CCP block (Algorithm 1, lines 12-16) -------------
-                    if not is_connected(graph, left):
+                    if not context.is_connected(left):
                         continue
-                    if not is_connected(graph, right):
+                    if not context.is_connected(right):
                         continue
-                    if not graph.is_connected_to(left, right):
+                    if not context.is_connected_to(left, right):
                         continue
                     # ------------------------------------------------------
                     stats.record_ccp(size)

@@ -31,9 +31,8 @@ from __future__ import annotations
 from typing import Iterator, Tuple
 
 from ..core import bitmapset as bms
-from ..core.blocks import find_blocks
-from ..core.connectivity import grow, is_connected, iter_connected_subsets_of_size
 from ..core.counters import OptimizerStats
+from ..core.enumeration import EnumerationContext
 from ..core.memo import MemoTable
 from ..core.plan import Plan
 from ..core.query import QueryInfo
@@ -50,34 +49,38 @@ class MPDP(JoinOrderOptimizer):
     exact = True
 
     def _iter_sets(self, query: QueryInfo, subset: int, size: int) -> Iterator[int]:
-        yield from iter_connected_subsets_of_size(query.graph, size, within=subset)
+        return EnumerationContext.of(query.graph).iter_connected_subsets(size, within=subset)
 
     def _run(self, query: QueryInfo, subset: int,
              memo: MemoTable, stats: OptimizerStats) -> Plan:
-        graph = query.graph
+        context = EnumerationContext.of(query.graph)
         n = bms.popcount(subset)
 
         for size in range(2, n + 1):
             for candidate_set in self._iter_sets(query, subset, size):
                 stats.record_set(size, connected=True)
-                decomposition = find_blocks(graph, candidate_set)
+                decomposition = context.find_blocks(candidate_set)
                 for block in decomposition.blocks:
                     for left_block in bms.iter_proper_nonempty_subsets(block):
                         stats.evaluated_pairs += 1
                         stats.level_pairs[size] = stats.level_pairs.get(size, 0) + 1
                         right_block = block & ~left_block
                         # --- CCP block, within the block (lines 10-14) -----
-                        if not is_connected(graph, left_block):
+                        if not context.is_connected(left_block):
                             continue
-                        if not is_connected(graph, right_block):
+                        if not context.is_connected(right_block):
                             continue
-                        if not graph.is_connected_to(left_block, right_block):
+                        if not context.is_connected_to(left_block, right_block):
                             continue
                         # ----------------------------------------------------
                         stats.record_ccp(size)
                         # Lift the block-level pair to a CCP pair of the set
-                        # via the grow function (lines 17-18).
-                        left = grow(graph, left_block, candidate_set & ~right_block)
+                        # via the grow function (lines 17-18).  When the block
+                        # spans the whole candidate set (clique-like case) the
+                        # restricted set *is* the left block and grow is an
+                        # identity — skip the traversal.
+                        rest = candidate_set & ~right_block
+                        left = rest if rest == left_block else context.grow(left_block, rest)
                         right = candidate_set & ~left
                         plan = query.join(left, right, memo[left], memo[right])
                         memo.put(candidate_set, plan)
@@ -104,8 +107,9 @@ class MPDPTree(JoinOrderOptimizer):
     def _run(self, query: QueryInfo, subset: int,
              memo: MemoTable, stats: OptimizerStats) -> Plan:
         graph = query.graph
+        context = EnumerationContext.of(graph)
         n = bms.popcount(subset)
-        n_edges_within = sum(1 for _ in graph.edges_within(subset))
+        n_edges_within = len(graph.edges_within(subset))
         if n_edges_within != n - 1:
             raise OptimizationError(
                 "MPDP:Tree requires an acyclic (tree) join graph; "
@@ -113,7 +117,7 @@ class MPDPTree(JoinOrderOptimizer):
             )
 
         for size in range(2, n + 1):
-            for candidate_set in iter_connected_subsets_of_size(graph, size, within=subset):
+            for candidate_set in context.iter_connected_subsets(size, within=subset):
                 stats.record_set(size, connected=True)
                 for left, right in self._edge_splits(query, candidate_set):
                     stats.record_pair(size, is_ccp=True)
@@ -126,8 +130,9 @@ class MPDPTree(JoinOrderOptimizer):
     def _edge_splits(query: QueryInfo, candidate_set: int) -> Iterator[Tuple[int, int]]:
         """Yield both orientations of the split induced by removing each edge."""
         graph = query.graph
+        context = EnumerationContext.of(graph)
         for edge in graph.edges_within(candidate_set):
-            left_side = grow(graph, bms.bit(edge.left), candidate_set & ~bms.bit(edge.right))
+            left_side = context.grow(bms.bit(edge.left), candidate_set & ~bms.bit(edge.right))
             right_side = candidate_set & ~left_side
             yield left_side, right_side
             yield right_side, left_side
