@@ -1,0 +1,172 @@
+"""Planner-service throughput: batched + cached vs one-at-a-time planning.
+
+The ROADMAP's north star is an optimizer *service*: web-style traffic
+re-issues the same parameterised query shapes over and over, so the planner's
+signature-keyed cache and ``plan_many`` deduplication should dominate
+end-to-end throughput on repeated workloads.  This benchmark measures exactly
+that on a mixed workload (star / snowflake / chain / cycle / clique / general
+cyclic, sizes 6-12) where every distinct query recurs ``REPEAT_FACTOR``
+times — regenerated from its seed each time, so deduplication must happen by
+canonical structural signature, not object identity:
+
+* **one_at_a_time** — a cache-less :class:`AdaptivePlanner` plans every
+  query individually (the pre-planner behaviour of hand-instantiating an
+  optimizer per query);
+* **batched** — a caching planner serves the same mix through
+  ``plan_many``.
+
+Results go to ``BENCH_planner.json`` at the repository root.  The acceptance
+bar (ISSUE 2) is a >= 5x batched speedup with the cache hit rate reported;
+the ``perf_smoke`` guard asserts a conservative 3x so CI noise does not flake.
+
+Run standalone (writes the JSON):
+
+    PYTHONPATH=src python benchmarks/bench_planner_throughput.py
+
+or through pytest (same sweep, same JSON, plus assertions):
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_planner_throughput.py -s
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Callable, Dict, List, Tuple
+
+import pytest
+
+from repro.core.query import QueryInfo
+from repro.planner import AdaptivePlanner
+from repro.workloads import (
+    chain_query,
+    clique_query,
+    cycle_query,
+    random_connected_query,
+    snowflake_query,
+    star_query,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+OUTPUT_PATH = REPO_ROOT / "BENCH_planner.json"
+
+#: (generator, size, seed) per distinct query in the mix.
+WORKLOAD_MIX: List[Tuple[Callable[..., QueryInfo], int, int]] = [
+    (generator, size, seed)
+    for generator, sizes in [
+        (star_query, (6, 8, 10)),
+        (snowflake_query, (8, 10, 12)),
+        (chain_query, (6, 9, 12)),
+        (cycle_query, (6, 8, 10)),
+        (clique_query, (6, 7, 8)),
+        (random_connected_query, (8, 10, 12)),
+    ]
+    for size in sizes
+    for seed in (0, 1)
+]
+#: How often every distinct query recurs in the served workload.
+REPEAT_FACTOR = 8
+
+
+def _generate_rounds() -> List[List[QueryInfo]]:
+    """The served mix, arriving in rounds: every distinct query regenerated
+    once per round, for REPEAT_FACTOR rounds."""
+    return [
+        [generator(size, seed=seed) for generator, size, seed in WORKLOAD_MIX]
+        for _ in range(REPEAT_FACTOR)
+    ]
+
+
+def run_benchmark() -> Dict[str, object]:
+    rounds_one = _generate_rounds()
+    rounds_batched = _generate_rounds()
+    n_queries = sum(len(batch) for batch in rounds_one)
+    n_distinct = len(WORKLOAD_MIX)
+
+    baseline = AdaptivePlanner(enable_cache=False)
+    start = time.perf_counter()
+    baseline_outcomes = [baseline.plan(query)
+                         for batch in rounds_one for query in batch]
+    one_at_a_time_seconds = time.perf_counter() - start
+
+    # Each round arrives as one plan_many batch: the first round fills the
+    # cache, later rounds are pure cache hits.
+    batched = AdaptivePlanner()
+    start = time.perf_counter()
+    batched_outcomes: List[object] = []
+    for batch in rounds_batched:
+        batched_outcomes.extend(batched.plan_many(batch))
+    batched_seconds = time.perf_counter() - start
+
+    # Same workload, same policy: costs must agree pairwise.
+    mismatches = sum(
+        1 for a, b in zip(baseline_outcomes, batched_outcomes) if a.cost != b.cost)
+    reused = sum(1 for outcome in batched_outcomes
+                 if outcome.decision.deduplicated or outcome.decision.cache_hit)
+
+    info = batched.cache_info()
+    return {
+        "workload": {
+            "n_queries": n_queries,
+            "n_distinct": n_distinct,
+            "repeat_factor": REPEAT_FACTOR,
+        },
+        "one_at_a_time": {
+            "seconds": one_at_a_time_seconds,
+            "queries_per_second": n_queries / one_at_a_time_seconds,
+        },
+        "batched": {
+            "seconds": batched_seconds,
+            "queries_per_second": n_queries / batched_seconds,
+            "reused_outcomes": reused,
+            "cache_entries": info["entries"],
+            "cache_hit_rate": info["hit_rate"],
+        },
+        "speedup": one_at_a_time_seconds / batched_seconds,
+        "cost_mismatches": mismatches,
+    }
+
+
+def write_results(results: Dict[str, object]) -> None:
+    OUTPUT_PATH.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
+
+
+def _print_summary(results: Dict[str, object]) -> None:
+    one = results["one_at_a_time"]
+    batched = results["batched"]
+    print(f"\nplanner throughput ({results['workload']['n_queries']} queries, "
+          f"{results['workload']['n_distinct']} distinct x{REPEAT_FACTOR}):")
+    print(f"  one-at-a-time : {one['queries_per_second']:8.1f} q/s "
+          f"({one['seconds']:.3f}s)")
+    print(f"  batched+cache : {batched['queries_per_second']:8.1f} q/s "
+          f"({batched['seconds']:.3f}s), "
+          f"{batched['reused_outcomes']} reused outcomes, "
+          f"hit rate {batched['cache_hit_rate']:.0%}")
+    print(f"  speedup       : {results['speedup']:.1f}x")
+
+
+@pytest.mark.perf_smoke
+def test_planner_throughput_guard():
+    """Batched+cached planning stays >= 3x one-at-a-time on repeated mixes.
+
+    The acceptance bar for BENCH_planner.json is 5x; the guard uses 3x so a
+    noisy CI box does not flake while still catching a broken cache or
+    deduplication path (those drop the speedup to ~1x).
+    """
+    results = run_benchmark()
+    write_results(results)
+    _print_summary(results)
+    assert results["cost_mismatches"] == 0
+    # Every repeat beyond the first occurrence must be served without
+    # re-planning: (REPEAT_FACTOR - 1) * n_distinct reused outcomes.
+    expected_reuse = (REPEAT_FACTOR - 1) * results["workload"]["n_distinct"]
+    assert results["batched"]["reused_outcomes"] == expected_reuse
+    assert results["speedup"] >= 3.0
+
+
+if __name__ == "__main__":
+    bench_results = run_benchmark()
+    write_results(bench_results)
+    _print_summary(bench_results)
+    print(f"\nwrote {OUTPUT_PATH}")

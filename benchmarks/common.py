@@ -6,6 +6,11 @@ that is feasible for pure Python (the paper's absolute sizes need CUDA kernels
 optimizer line-ups and time extractors so each module stays focused on its
 experiment.
 
+Optimizers are obtained through the planner's
+:data:`~repro.planner.registry.DEFAULT_REGISTRY`, and the parallel-CPU time
+model dispatches on each algorithm's declared ``execution_style`` capability
+rather than on its name.
+
 Conventions:
 
 * benchmark functions are ordinary pytest tests using the ``benchmark``
@@ -19,53 +24,58 @@ from __future__ import annotations
 from typing import Callable, List, Tuple
 
 from repro.bench.harness import OptimizerEntry, simulated_gpu_seconds, wall_time_seconds
-from repro.gpu import DPSizeGpu, DPSubGpu, MPDPGpu
-from repro.optimizers import DPCcp, DPE, DPSize, DPSub, MPDP, PlanResult
+from repro.optimizers import PlanResult
 from repro.parallel import ParallelCPUModel
+from repro.planner import DEFAULT_REGISTRY
 
 _PARALLEL_MODEL = ParallelCPUModel()
 
 
 def _simulated_cpu_seconds(threads: int, algorithm: str) -> Callable[[PlanResult], float]:
+    style = DEFAULT_REGISTRY.capabilities(algorithm).execution_style
+
     def extract(result: PlanResult) -> float:
-        return _PARALLEL_MODEL.simulate(result.stats, threads, algorithm)
+        return _PARALLEL_MODEL.simulate(result.stats, threads, execution_style=style)
 
     return extract
+
+
+def _factory(name: str) -> Callable[[], object]:
+    return DEFAULT_REGISTRY.get(name).factory
 
 
 def exact_optimizer_lineup(include_gpu: bool = True,
                            include_parallel_cpu: bool = True) -> List[OptimizerEntry]:
     """The Figure 6-9 line-up: sequential CPU, parallel CPU (modelled), GPU (modelled)."""
     lineup: List[OptimizerEntry] = [
-        ("Postgres (1CPU)", DPSize, wall_time_seconds),
-        ("DPccp (1CPU)", DPCcp, wall_time_seconds),
-        ("DPsub (1CPU)", DPSub, wall_time_seconds),
-        ("MPDP (1CPU)", MPDP, wall_time_seconds),
+        ("Postgres (1CPU)", _factory("DPsize"), wall_time_seconds),
+        ("DPccp (1CPU)", _factory("DPccp"), wall_time_seconds),
+        ("DPsub (1CPU)", _factory("DPsub"), wall_time_seconds),
+        ("MPDP (1CPU)", _factory("MPDP"), wall_time_seconds),
     ]
     if include_parallel_cpu:
         lineup += [
-            ("DPE (24CPU)", DPE, _simulated_cpu_seconds(24, "DPE")),
-            ("MPDP (24CPU)", MPDP, _simulated_cpu_seconds(24, "MPDP")),
+            ("DPE (24CPU)", _factory("DPE"), _simulated_cpu_seconds(24, "DPE")),
+            ("MPDP (24CPU)", _factory("MPDP"), _simulated_cpu_seconds(24, "MPDP")),
         ]
     if include_gpu:
         lineup += [
-            ("DPsize (GPU)", DPSizeGpu, simulated_gpu_seconds),
-            ("DPsub (GPU)", DPSubGpu, simulated_gpu_seconds),
-            ("MPDP (GPU)", MPDPGpu, simulated_gpu_seconds),
+            ("DPsize (GPU)", _factory("DPsize (GPU)"), simulated_gpu_seconds),
+            ("DPsub (GPU)", _factory("DPsub (GPU)"), simulated_gpu_seconds),
+            ("MPDP (GPU)", _factory("MPDP (GPU)"), simulated_gpu_seconds),
         ]
     return lineup
 
 
 def heuristic_lineup(k_small: int = 10, k_large: int = 15) -> List[Tuple[str, Callable[[], object]]]:
     """The Table 1/2 line-up (scaled-down ``k`` values; see EXPERIMENTS.md)."""
-    from repro.heuristics import GEQO, GOO, IDP2, IKKBZ, AdaptiveLinDP, UnionDP
-
     return [
-        ("GE-QO", lambda: GEQO(seed=0, generations=100, pool_size=200)),
-        ("GOO", GOO),
-        ("LinDP", AdaptiveLinDP),
-        ("IKKBZ", IKKBZ),
-        (f"IDP2-MPDP ({k_small})", lambda: IDP2(k=k_small)),
-        (f"IDP2-MPDP ({k_large})", lambda: IDP2(k=k_large)),
-        (f"UnionDP-MPDP ({k_small})", lambda: UnionDP(k=k_small)),
+        ("GE-QO", lambda: DEFAULT_REGISTRY.create("GE-QO", seed=0, generations=100,
+                                                  pool_size=200)),
+        ("GOO", _factory("GOO")),
+        ("LinDP", _factory("LinDP")),
+        ("IKKBZ", _factory("IKKBZ")),
+        (f"IDP2-MPDP ({k_small})", lambda: DEFAULT_REGISTRY.create("IDP2", k=k_small)),
+        (f"IDP2-MPDP ({k_large})", lambda: DEFAULT_REGISTRY.create("IDP2", k=k_large)),
+        (f"UnionDP-MPDP ({k_small})", lambda: DEFAULT_REGISTRY.create("UnionDP", k=k_small)),
     ]

@@ -1,0 +1,68 @@
+"""The planner front door: classification, routing, caching and batching.
+
+Run with::
+
+    python examples/adaptive_planner.py
+
+Demonstrates the full service layer on a mixed workload:
+
+1. queries of every shape (star, snowflake, chain, cycle, clique, general
+   cyclic) and of sizes from 8 to 150 relations are classified and routed
+   down the paper's policy ladder (exact MPDP -> IDP2-MPDP -> LinDP -> GOO);
+2. a repeated-workload batch goes through ``plan_many``, which deduplicates
+   structurally identical queries and serves repeats from the plan cache;
+3. a tiny time budget shows the harness-style fallback: rungs that blow the
+   budget fall through to cheaper heuristics and are skipped for every
+   later query of that size or larger.
+"""
+
+from repro import AdaptivePlanner, workloads
+
+
+def show(outcome) -> None:
+    decision = outcome.decision
+    flags = []
+    if decision.cache_hit:
+        flags.append("cache-hit")
+    if decision.deduplicated:
+        flags.append("deduplicated")
+    if decision.fallbacks:
+        flags.append(f"fell past {'+'.join(decision.fallbacks)}")
+    suffix = f"  [{', '.join(flags)}]" if flags else ""
+    print(f"  {decision.shape:10s} n={decision.n_relations:<4d} -> "
+          f"{decision.algorithm:10s} cost={outcome.cost:12.4g}{suffix}")
+
+
+def main() -> None:
+    planner = AdaptivePlanner()
+
+    print("1) One front door, every shape and size:")
+    for query in [
+        workloads.star_query(10, seed=1),
+        workloads.snowflake_query(14, seed=1),
+        workloads.chain_query(12, seed=1),
+        workloads.cycle_query(10, seed=1),
+        workloads.clique_query(9, seed=1),
+        workloads.random_connected_query(40, seed=1),
+        workloads.random_connected_query(150, seed=1),
+    ]:
+        show(planner.plan(query))
+
+    print("\n2) Repeated workload through plan_many (dedup + cache):")
+    batch = [workloads.star_query(9, seed=seed % 3) for seed in range(9)]
+    for outcome in planner.plan_many(batch):
+        show(outcome)
+    info = planner.cache_info()
+    print(f"  cache: {info['entries']:.0f} entries, "
+          f"{info['hits']:.0f} hits / {info['misses']:.0f} misses "
+          f"(hit rate {info['hit_rate']:.0%})")
+
+    print("\n3) Time-budget fallback (budget far below exact DP's cost):")
+    strict = AdaptivePlanner(time_budget_seconds=1e-6)
+    show(strict.plan(workloads.clique_query(10, seed=2)))
+    show(strict.plan(workloads.clique_query(10, seed=3)))
+    print("  (second query skips the rungs the first one proved over budget)")
+
+
+if __name__ == "__main__":
+    main()

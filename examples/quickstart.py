@@ -1,16 +1,19 @@
-"""Quickstart: optimize a star join query with MPDP.
+"""Quickstart: optimize a star join query through the planner front door.
 
 Run with::
 
     python examples/quickstart.py
 
-Builds a 10-relation star query (one fact table, nine dimensions), runs the
-paper's MPDP algorithm and one baseline (DPsub), prints the chosen plan and
-shows the instrumentation the paper's figures are built from: how many join
-pairs each algorithm evaluated versus how many were valid CCP pairs.
+Builds a 10-relation star query (one fact table, nine dimensions), plans it
+through the :class:`~repro.planner.AdaptivePlanner` front door — which
+classifies the join graph and routes it to the paper's policy choice (the
+exact MPDP tree specialisation here) — and compares against a directly
+invoked baseline (DPsub), showing the instrumentation the paper's figures
+are built from: how many join pairs each algorithm evaluated versus how many
+were valid CCP pairs.
 """
 
-from repro import DPSub, MPDP, workloads
+from repro import AdaptivePlanner, DPSub, workloads
 
 
 def main() -> None:
@@ -18,19 +21,24 @@ def main() -> None:
     print(f"Query: {query.name} with {query.n_relations} relations "
           f"and {query.graph.n_edges} join predicates\n")
 
-    mpdp_result = MPDP().optimize(query)
+    planner = AdaptivePlanner()
+    outcome = planner.plan(query)
+    decision = outcome.decision
+    print(f"Planner classified the query as {decision.shape!r} and routed it "
+          f"to {decision.algorithm}:")
+    print(f"  {decision.reason}\n")
+
     dpsub_result = DPSub().optimize(query)
 
-    print("Optimal plan found by MPDP:")
-    print(mpdp_result.plan.to_string(query.graph.relation_names))
-    print(f"\nplan cost: {mpdp_result.cost:,.1f}")
+    print(f"Optimal plan found by {decision.algorithm}:")
+    print(outcome.plan.to_string(query.graph.relation_names))
+    print(f"\nplan cost: {outcome.cost:,.1f}")
     print(f"both algorithms agree: "
-          f"{abs(mpdp_result.cost - dpsub_result.cost) < 1e-6 * mpdp_result.cost}\n")
+          f"{abs(outcome.cost - dpsub_result.cost) < 1e-6 * outcome.cost}\n")
 
     print("Enumeration efficiency (the paper's EvaluatedCounter vs CCP-Counter):")
-    for result in (mpdp_result, dpsub_result):
-        stats = result.stats
-        print(f"  {stats.algorithm:6s} evaluated {stats.evaluated_pairs:7d} pairs, "
+    for stats in (outcome.stats, dpsub_result.stats):
+        print(f"  {stats.algorithm:9s} evaluated {stats.evaluated_pairs:7d} pairs, "
               f"{stats.ccp_pairs:6d} valid "
               f"({stats.normalized_evaluated_pairs():6.1f}x the lower bound), "
               f"wall time {stats.wall_time_seconds * 1e3:7.2f} ms")

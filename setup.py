@@ -24,4 +24,9 @@ setup(
     packages=find_packages(where="src"),
     python_requires=">=3.10",
     install_requires=["numpy", "networkx"],
+    entry_points={
+        "console_scripts": [
+            "repro-plan=repro.planner.cli:main",
+        ],
+    },
 )

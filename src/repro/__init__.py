@@ -52,7 +52,15 @@ from .heuristics import (
     LinearizedDP,
     UnionDP,
 )
-from . import analysis, bench, execution, gpu, parallel, sql, workloads
+from .planner import (
+    AdaptivePlanner,
+    DEFAULT_REGISTRY,
+    OptimizerRegistry,
+    PlanCache,
+    PlanningOutcome,
+    QueryClassifier,
+)
+from . import analysis, bench, execution, gpu, parallel, planner, sql, workloads
 
 __version__ = "1.0.0"
 
@@ -89,12 +97,19 @@ __all__ = [
     "AdaptiveLinDP",
     "UnionDP",
     "HEURISTIC_OPTIMIZERS",
+    "AdaptivePlanner",
+    "DEFAULT_REGISTRY",
+    "OptimizerRegistry",
+    "PlanCache",
+    "PlanningOutcome",
+    "QueryClassifier",
     "workloads",
     "analysis",
     "bench",
     "execution",
     "gpu",
     "parallel",
+    "planner",
     "sql",
     "__version__",
 ]

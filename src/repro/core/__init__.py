@@ -15,6 +15,7 @@ from .connectivity import (
     iter_connected_subsets_of_size,
 )
 from .blocks import BlockDecomposition, block_cut_tree, find_blocks, find_cut_vertices
+from .shapes import ACYCLIC_SHAPES, ALL_SHAPES, CYCLIC_SHAPES, classify_shape, is_acyclic_shape
 from .unionfind import UnionFind
 from .plan import JoinMethod, Plan, join_plan, scan_plan
 from .memo import MemoTable
@@ -32,6 +33,11 @@ __all__ = [
     "connected_components",
     "iter_connected_subsets_of_size",
     "count_ccp_pairs",
+    "ACYCLIC_SHAPES",
+    "ALL_SHAPES",
+    "CYCLIC_SHAPES",
+    "classify_shape",
+    "is_acyclic_shape",
     "BlockDecomposition",
     "find_blocks",
     "find_cut_vertices",

@@ -86,6 +86,16 @@ class QueryInfo:
         """True if vertices stand for groups of original relations."""
         return self.root is not self
 
+    @property
+    def has_custom_leaf_plans(self) -> bool:
+        """True when any vertex carries a pre-built (non-scan) leaf plan.
+
+        Such plans carry cost state that is not derivable from the graph and
+        base cardinalities, so e.g. the planner's structural signature cannot
+        cover them.
+        """
+        return any(plan is not None for plan in self._leaf_plans)
+
     def root_mask_of(self, vertex_mask: int) -> int:
         """Translate a vertex bitmap into the bitmap of root relations."""
         result = 0

@@ -1,0 +1,106 @@
+"""Join-graph shape taxonomy and classification.
+
+The paper's routing policy (Sections 6-7) is shape-driven: the tree
+specialisation of MPDP applies whenever the join graph is acyclic, the block
+decomposition pays off on sparse cyclic graphs, and clique graphs are the
+adversarial dense case where only raw parallelism helps.  This module names
+the standard topologies the workload generators produce (star, snowflake,
+chain, cycle, clique — Section 7.2.1) and classifies an induced subgraph into
+them so the planner can route queries declaratively.
+
+Classification uses the block decomposition (every acyclic connected graph
+has only 2-vertex blocks) plus vertex degrees; both are O(V + E) per call and
+the planner memoizes through :class:`~repro.core.enumeration.EnumerationContext`.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Optional
+
+from . import bitmapset as bms
+from .enumeration import EnumerationContext
+from .joingraph import JoinGraph
+
+__all__ = [
+    "SHAPE_SINGLE",
+    "SHAPE_CHAIN",
+    "SHAPE_STAR",
+    "SHAPE_SNOWFLAKE",
+    "SHAPE_CYCLE",
+    "SHAPE_CLIQUE",
+    "SHAPE_CYCLIC",
+    "SHAPE_DISCONNECTED",
+    "ACYCLIC_SHAPES",
+    "CYCLIC_SHAPES",
+    "ALL_SHAPES",
+    "classify_shape",
+    "is_acyclic_shape",
+]
+
+#: A single relation (no joins).
+SHAPE_SINGLE = "single"
+#: Acyclic, every vertex has degree <= 2 (a path).
+SHAPE_CHAIN = "chain"
+#: Acyclic, exactly one vertex of degree >= 2 (a fact table with dimensions).
+SHAPE_STAR = "star"
+#: Any other acyclic graph: a hierarchy of dimension chains (Section 7.2.1's
+#: snowflake generator produces exactly these — trees with >= 2 internal
+#: vertices).
+SHAPE_SNOWFLAKE = "snowflake"
+#: A single simple cycle (every vertex has degree exactly 2).
+SHAPE_CYCLE = "cycle"
+#: Every relation joins every other relation (all Join-Pairs valid).
+SHAPE_CLIQUE = "clique"
+#: Any other cyclic graph ("general cyclic" in the paper's terms).
+SHAPE_CYCLIC = "cyclic"
+#: The induced subgraph is not connected (optimizers reject these).
+SHAPE_DISCONNECTED = "disconnected"
+
+ACYCLIC_SHAPES: FrozenSet[str] = frozenset(
+    {SHAPE_SINGLE, SHAPE_CHAIN, SHAPE_STAR, SHAPE_SNOWFLAKE})
+CYCLIC_SHAPES: FrozenSet[str] = frozenset(
+    {SHAPE_CYCLE, SHAPE_CLIQUE, SHAPE_CYCLIC})
+ALL_SHAPES: FrozenSet[str] = ACYCLIC_SHAPES | CYCLIC_SHAPES
+
+
+def is_acyclic_shape(shape: str) -> bool:
+    """True for shapes whose induced join graph is a tree."""
+    return shape in ACYCLIC_SHAPES
+
+
+def classify_shape(graph: JoinGraph, mask: Optional[int] = None) -> str:
+    """Classify the subgraph induced by ``mask`` (default: the whole graph).
+
+    Returns one of the ``SHAPE_*`` constants.  Cyclicity is decided through
+    the cached block decomposition (a connected graph is acyclic iff every
+    biconnected component is a single edge), the finer acyclic/cyclic split
+    through vertex degrees and edge counts.
+    """
+    if mask is None:
+        mask = graph.all_relations_mask
+    n = bms.popcount(mask)
+    if n == 0:
+        return SHAPE_DISCONNECTED
+    if n == 1:
+        return SHAPE_SINGLE
+
+    context = EnumerationContext.of(graph)
+    if not context.is_connected(mask):
+        return SHAPE_DISCONNECTED
+
+    degrees = [bms.popcount(graph.adjacency(v) & mask) for v in bms.iter_bits(mask)]
+    n_edges = sum(degrees) // 2
+
+    if context.find_blocks(mask).max_block_size() <= 2:
+        # Acyclic: n_edges == n - 1 and every block is one edge.
+        if max(degrees) <= 2:
+            return SHAPE_CHAIN
+        if sum(1 for d in degrees if d >= 2) == 1:
+            return SHAPE_STAR
+        return SHAPE_SNOWFLAKE
+
+    if n_edges == n * (n - 1) // 2:
+        return SHAPE_CLIQUE
+    if all(d == 2 for d in degrees):
+        return SHAPE_CYCLE
+    return SHAPE_CYCLIC

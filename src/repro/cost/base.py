@@ -38,3 +38,20 @@ class CostModel(ABC):
     def join_cost_only(self, left: Plan, right: Plan, output_rows: float) -> float:
         """Convenience: cost of the cheapest join without materialising a Plan."""
         return self.join(left, right, output_rows).cost
+
+    def cache_key(self) -> str:
+        """Stable identifier of this model *and its configuration*.
+
+        Used by the planner's structural signature: two queries may share a
+        cached plan only when their cost models would cost every plan
+        identically, so the key must change whenever a costing parameter
+        does.  The default covers the name plus every public instance
+        attribute (parameter dataclasses render deterministically through
+        ``repr``); override for models whose state lives elsewhere.
+        """
+        state = vars(self)
+        parts = [self.name] + [
+            f"{key}={state[key]!r}" for key in sorted(state)
+            if not key.startswith("_")
+        ]
+        return "|".join(parts)

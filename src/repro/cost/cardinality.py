@@ -45,6 +45,18 @@ class CardinalityEstimator:
         """Cardinality of a single base relation (after pushed-down selections)."""
         return self.base_cardinalities[relation]
 
+    def cache_key(self) -> str:
+        """Stable identifier of the estimator's *configuration*.
+
+        Folded into the planner's structural signature alongside the
+        per-vertex base cardinalities and edge selectivities (which the
+        signature hashes separately).  Subclasses that add estimation
+        parameters beyond ``min_rows`` must extend this, or structurally
+        identical queries under differently-configured estimators would
+        share cached plans.
+        """
+        return f"{type(self).__name__}|min_rows={self.min_rows!r}"
+
     #: Estimates are capped here so that queries whose true estimate exceeds
     #: the double-precision range (e.g. near-cross-products over hundreds of
     #: relations) still produce finite, comparable costs.

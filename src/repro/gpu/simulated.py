@@ -20,6 +20,9 @@ from typing import Optional
 
 from ..core import bitmapset as bms
 from ..core.enumeration import EnumerationContext
+from ..core.counters import OptimizerStats
+from ..core.memo import MemoTable
+from ..core.plan import Plan
 from ..core.query import QueryInfo
 from ..optimizers.base import JoinOrderOptimizer, PlanResult
 from ..optimizers.dpsize import DPSize
@@ -37,8 +40,16 @@ __all__ = [
 ]
 
 
-class GPUSimulatedOptimizer:
-    """Wrap a CPU enumeration algorithm with the GPU execution model."""
+class GPUSimulatedOptimizer(JoinOrderOptimizer):
+    """Wrap a CPU enumeration algorithm with the GPU execution model.
+
+    A real :class:`~repro.optimizers.base.JoinOrderOptimizer` subclass, so
+    ``isinstance`` checks, the ``exact``/``parallelizability`` metadata and
+    the planner's registry treat CPU and GPU-simulated optimizers uniformly.
+    """
+
+    parallelizability = "high"
+    execution_style = "level_parallel"
 
     def __init__(self, inner: JoinOrderOptimizer, device: GPUDeviceSpec = GTX_1080,
                  kernel_fusion: bool = True, collaborative_context_collection: bool = True,
@@ -48,8 +59,9 @@ class GPUSimulatedOptimizer:
         self.kernel_fusion = kernel_fusion
         self.collaborative_context_collection = collaborative_context_collection
         self.name = name or f"{inner.name} (GPU)"
-        self.parallelizability = "high"
         self.exact = inner.exact
+        self.supported_shapes = inner.supported_shapes
+        self.max_relations = inner.max_relations
 
     def _pipeline_model(self) -> GPUPipelineModel:
         return GPUPipelineModel(
@@ -59,6 +71,16 @@ class GPUSimulatedOptimizer:
             kernel_fusion=self.kernel_fusion,
             collaborative_context_collection=self.collaborative_context_collection,
         )
+
+    def _run(self, query: QueryInfo, subset: int,
+             memo: MemoTable, stats: OptimizerStats) -> Plan:
+        """Satisfy the abstract contract by running the wrapped CPU algorithm.
+
+        :meth:`optimize` is overridden wholesale (the GPU model post-processes
+        the inner optimizer's full result), so this is only reached when a
+        caller drives the template method directly.
+        """
+        return self.inner._run(query, subset, memo, stats)
 
     def optimize(self, query: QueryInfo, subset: Optional[int] = None) -> PlanResult:
         """Optimize and attach the simulated GPU timing to the result stats."""

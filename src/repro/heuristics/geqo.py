@@ -40,6 +40,7 @@ class GEQO(JoinOrderOptimizer):
     name = "GE-QO"
     parallelizability = "sequential"
     exact = False
+    execution_style = "sequential"
 
     def __init__(self, effort: int = 5, seed: int = 0,
                  pool_size: Optional[int] = None, generations: Optional[int] = None,

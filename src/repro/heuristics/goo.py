@@ -34,6 +34,7 @@ class GOO(JoinOrderOptimizer):
     name = "GOO"
     parallelizability = "sequential"
     exact = False
+    execution_style = "sequential"
 
     def _run(self, query: QueryInfo, subset: int,
              memo: MemoTable, stats: OptimizerStats) -> Plan:

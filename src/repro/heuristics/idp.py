@@ -50,6 +50,7 @@ class IDP1(JoinOrderOptimizer):
     name = "IDP1"
     parallelizability = "high"
     exact = False
+    execution_style = "level_parallel"
 
     def __init__(self, k: int = 8,
                  exact_factory: Callable[[], JoinOrderOptimizer] = _default_exact_factory):
@@ -116,6 +117,7 @@ class IDP2(JoinOrderOptimizer):
     name = "IDP2"
     parallelizability = "high"
     exact = False
+    execution_style = "level_parallel"
 
     def __init__(self, k: int = 15,
                  exact_factory: Callable[[], JoinOrderOptimizer] = _default_exact_factory,

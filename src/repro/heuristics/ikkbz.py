@@ -185,6 +185,7 @@ class IKKBZ(JoinOrderOptimizer):
     name = "IKKBZ"
     parallelizability = "sequential"
     exact = False
+    execution_style = "sequential"
 
     def linear_order(self, query: QueryInfo, subset: Optional[int] = None) -> List[int]:
         """The best IKKBZ linear order for the (sub)query, as a vertex list."""

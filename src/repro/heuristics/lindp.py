@@ -39,6 +39,8 @@ class LinearizedDP(JoinOrderOptimizer):
     name = "LinearizedDP"
     parallelizability = "medium"
     exact = False
+    execution_style = "level_parallel"
+    max_relations = 300
 
     def __init__(self, ikkbz: Optional[IKKBZ] = None):
         self.ikkbz = ikkbz or IKKBZ()
@@ -102,6 +104,7 @@ class AdaptiveLinDP(JoinOrderOptimizer):
     name = "LinDP"
     parallelizability = "medium"
     exact = False
+    execution_style = "level_parallel"
 
     def __init__(self, exact_threshold: int = 14, linearized_threshold: int = 100,
                  idp_k: int = 100):

@@ -53,6 +53,7 @@ class UnionDP(JoinOrderOptimizer):
     name = "UnionDP"
     parallelizability = "high"
     exact = False
+    execution_style = "level_parallel"
 
     def __init__(self, k: int = 15,
                  exact_factory: Callable[[], JoinOrderOptimizer] = _default_exact_factory,

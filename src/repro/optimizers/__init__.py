@@ -6,7 +6,7 @@ can be used interchangeably; they differ in how many join pairs they evaluate
 is, which is exactly the trade-off Figure 2 of the paper maps out.
 """
 
-from .base import JoinOrderOptimizer, OptimizationError, PlanResult
+from .base import JoinOrderOptimizer, OptimizationError, OptimizerCapabilities, PlanResult
 from .dpsize import DPSize
 from .dpsub import DPSub
 from .dpccp import DPCcp, enumerate_csg_cmp_pairs
@@ -28,6 +28,7 @@ EXACT_OPTIMIZERS = {
 __all__ = [
     "JoinOrderOptimizer",
     "OptimizationError",
+    "OptimizerCapabilities",
     "PlanResult",
     "DPSize",
     "DPSub",

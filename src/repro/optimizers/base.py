@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Optional
+from typing import FrozenSet, Optional
 
 from ..core import bitmapset as bms
 from ..core.counters import OptimizerStats, Stopwatch
@@ -28,11 +28,64 @@ from ..core.memo import MemoTable
 from ..core.plan import Plan
 from ..core.query import QueryInfo
 
-__all__ = ["PlanResult", "JoinOrderOptimizer", "OptimizationError"]
+__all__ = [
+    "OptimizerCapabilities",
+    "PlanResult",
+    "JoinOrderOptimizer",
+    "OptimizationError",
+]
 
 
 class OptimizationError(RuntimeError):
     """Raised when an optimizer cannot produce a plan for the query."""
+
+
+@dataclass(frozen=True)
+class OptimizerCapabilities:
+    """Declarative capability metadata of one optimizer (PostBOUND-style).
+
+    Every :class:`JoinOrderOptimizer` describes itself through this record
+    (:meth:`JoinOrderOptimizer.describe`); the planner's
+    :class:`~repro.planner.registry.OptimizerRegistry` stores these instead of
+    poking at ad-hoc class attributes or matching algorithm-name strings.
+
+    Attributes:
+        name: canonical algorithm name (``"MPDP"``, ``"IDP2"``, ...).
+        exact: True for algorithms guaranteed to find the optimal
+            cross-product-free plan.
+        parallelizability: Figure 2 class: "sequential", "medium" or "high".
+        execution_style: how the algorithm's work parallelises across
+            threads — ``"level_parallel"`` (independent pair evaluations
+            within each DP level: DPsize, DPsub, MPDP, PDP),
+            ``"producer_consumer"`` (sequential pair enumeration feeding
+            parallel costing: DPE, DPccp) or ``"sequential"`` (greedy /
+            genetic heuristics with no exploitable inner parallelism).
+        supported_shapes: join-graph shapes (see :mod:`repro.core.shapes`)
+            the algorithm accepts; ``None`` means every connected shape.
+        max_relations: practical upper bound on the number of relations the
+            algorithm can optimize within an interactive time budget (the
+            sizes the paper's Section 7 runs it up to); ``None`` = unbounded.
+    """
+
+    name: str
+    exact: bool
+    parallelizability: str
+    execution_style: str = "level_parallel"
+    supported_shapes: Optional[FrozenSet[str]] = None
+    max_relations: Optional[int] = None
+
+    def supports_shape(self, shape: str) -> bool:
+        """True when the algorithm accepts join graphs of ``shape``.
+
+        ``supported_shapes=None`` accepts every shape; callers are expected
+        to have rejected disconnected graphs beforehand (the planner and
+        :meth:`JoinOrderOptimizer.optimize` both do).
+        """
+        return self.supported_shapes is None or shape in self.supported_shapes
+
+    def supports_size(self, n_relations: int) -> bool:
+        """True when ``n_relations`` is within the practical size ceiling."""
+        return self.max_relations is None or n_relations <= self.max_relations
 
 
 @dataclass
@@ -58,6 +111,26 @@ class JoinOrderOptimizer(ABC):
     parallelizability: str = "sequential"
     #: True for algorithms guaranteed to find the optimal cross-product-free plan.
     exact: bool = True
+    #: How the algorithm's work parallelises across threads (see
+    #: :class:`OptimizerCapabilities.execution_style`).
+    execution_style: str = "level_parallel"
+    #: Join-graph shapes the algorithm accepts (``None`` = any connected
+    #: shape); shape names come from :mod:`repro.core.shapes`.
+    supported_shapes: Optional[FrozenSet[str]] = None
+    #: Practical ceiling on relations per query (``None`` = unbounded).
+    max_relations: Optional[int] = None
+
+    def describe(self) -> OptimizerCapabilities:
+        """This optimizer's declarative capability metadata."""
+        shapes = self.supported_shapes
+        return OptimizerCapabilities(
+            name=self.name,
+            exact=self.exact,
+            parallelizability=self.parallelizability,
+            execution_style=self.execution_style,
+            supported_shapes=frozenset(shapes) if shapes is not None else None,
+            max_relations=self.max_relations,
+        )
 
     # ------------------------------------------------------------------ #
     # Template method

@@ -110,6 +110,8 @@ class DPCcp(JoinOrderOptimizer):
     name = "DPccp"
     parallelizability = "sequential"
     exact = True
+    execution_style = "producer_consumer"
+    max_relations = 18
 
     def _run(self, query: QueryInfo, subset: int,
              memo: MemoTable, stats: OptimizerStats) -> Plan:

@@ -31,6 +31,8 @@ class DPE(DPCcp):
     name = "DPE"
     parallelizability = "medium"
     exact = True
+    execution_style = "producer_consumer"
+    max_relations = 18
 
     #: Fraction of the total per-pair work that consumers can run in parallel
     #: (the cost-function evaluation); the remaining fraction is the

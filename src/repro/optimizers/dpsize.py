@@ -31,6 +31,8 @@ class DPSize(JoinOrderOptimizer):
     name = "DPsize"
     parallelizability = "medium"
     exact = True
+    execution_style = "level_parallel"
+    max_relations = 14
 
     def _run(self, query: QueryInfo, subset: int,
              memo: MemoTable, stats: OptimizerStats) -> Plan:

@@ -38,6 +38,8 @@ class DPSub(JoinOrderOptimizer):
     name = "DPsub"
     parallelizability = "high"
     exact = True
+    execution_style = "level_parallel"
+    max_relations = 16
 
     def __init__(self, unrank_filter: bool = False):
         self.unrank_filter = unrank_filter

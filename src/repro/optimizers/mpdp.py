@@ -36,6 +36,7 @@ from ..core.enumeration import EnumerationContext
 from ..core.memo import MemoTable
 from ..core.plan import Plan
 from ..core.query import QueryInfo
+from ..core.shapes import ACYCLIC_SHAPES
 from .base import JoinOrderOptimizer, OptimizationError
 
 __all__ = ["MPDP", "MPDPTree"]
@@ -47,6 +48,8 @@ class MPDP(JoinOrderOptimizer):
     name = "MPDP"
     parallelizability = "high"
     exact = True
+    execution_style = "level_parallel"
+    max_relations = 25
 
     def _iter_sets(self, query: QueryInfo, subset: int, size: int) -> Iterator[int]:
         return EnumerationContext.of(query.graph).iter_connected_subsets(size, within=subset)
@@ -103,6 +106,9 @@ class MPDPTree(JoinOrderOptimizer):
     name = "MPDP:Tree"
     parallelizability = "high"
     exact = True
+    execution_style = "level_parallel"
+    supported_shapes = ACYCLIC_SHAPES
+    max_relations = 30
 
     def _run(self, query: QueryInfo, subset: int,
              memo: MemoTable, stats: OptimizerStats) -> Plan:

@@ -28,6 +28,8 @@ class PDP(DPSize):
     name = "PDP"
     parallelizability = "medium"
     exact = True
+    execution_style = "level_parallel"
+    max_relations = 14
 
     #: Fraction of per-level work the parallel model may distribute across
     #: workers.  Pair evaluation parallelizes; the per-level plan-vector

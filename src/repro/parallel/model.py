@@ -35,8 +35,9 @@ wall-clock time to the work an optimizer has already done.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
-from typing import Dict, Iterable, List
+from typing import Dict, Iterable, List, Optional
 
 from ..core.counters import OptimizerStats
 
@@ -120,17 +121,52 @@ class ParallelCPUModel:
         )
 
     # ------------------------------------------------------------------ #
-    def simulate(self, stats: OptimizerStats, threads: int, algorithm: str) -> float:
-        """Simulated time for ``algorithm`` with ``threads`` workers.
+    def simulate(self, stats: OptimizerStats, threads: int,
+                 algorithm: Optional[str] = None, *,
+                 execution_style: Optional[str] = None) -> float:
+        """Simulated time for a recorded run with ``threads`` workers.
 
-        ``algorithm`` is matched against the known execution styles:
-        ``"DPE"`` uses the producer/consumer model, everything else uses the
-        level-parallel model (with ``threads=1`` both reduce to the same
-        sequential sum, modulo the per-level overheads).
+        Dispatch is driven by the optimizer's declared ``execution_style``
+        (see :class:`~repro.optimizers.base.OptimizerCapabilities`):
+        ``"producer_consumer"`` uses the producer/consumer model, every
+        other style the level-parallel model (with ``threads=1`` both reduce
+        to the same sequential sum, modulo the per-level overheads).
+
+        When only an ``algorithm`` name is given, the style is resolved
+        through the planner's :data:`~repro.planner.registry.DEFAULT_REGISTRY`.
+        Names the registry does not know fall back to the legacy
+        name-prefix match (``DPE*``/``DPccp*`` -> producer/consumer) with a
+        :class:`DeprecationWarning` — pass ``execution_style`` instead.
+        One of the two must be given.
         """
-        if algorithm.upper().startswith("DPE") or algorithm.upper().startswith("DPCCP"):
+        if execution_style is None:
+            if algorithm is None:
+                raise ValueError(
+                    "simulate() needs either an algorithm name or an "
+                    "explicit execution_style")
+            execution_style = self._resolve_style(algorithm)
+        if execution_style == "producer_consumer":
             return self.producer_consumer_time(stats, threads)
         return self.level_parallel_time(stats, threads)
+
+    @staticmethod
+    def _resolve_style(algorithm: str) -> str:
+        from ..planner.registry import DEFAULT_REGISTRY
+
+        style = DEFAULT_REGISTRY.execution_style_of(algorithm)
+        if style is not None:
+            return style
+        warnings.warn(
+            f"algorithm name {algorithm!r} is not in the optimizer registry; "
+            "falling back to deprecated name-prefix dispatch — pass "
+            "execution_style= (or register the optimizer) instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        upper = algorithm.upper()
+        if upper.startswith("DPE") or upper.startswith("DPCCP"):
+            return "producer_consumer"
+        return "level_parallel"
 
 
 def speedup_curve(model: ParallelCPUModel, stats: OptimizerStats, algorithm: str,

@@ -1,0 +1,51 @@
+"""Adaptive planner service layer: the repository's optimizer front door.
+
+This package turns the collection of join-order algorithms into a *service*
+(the ROADMAP's "serve heavy traffic" north star, and Trummer & Koch's framing
+of query optimization as a throughput-bound service):
+
+* :mod:`~repro.planner.registry` — declarative capability metadata for every
+  optimizer (:data:`DEFAULT_REGISTRY`), replacing ad-hoc class attributes
+  and algorithm-name string matching;
+* :mod:`~repro.planner.classifier` — join-graph fingerprints (tree / star /
+  snowflake / clique / general cyclic) and canonical structural signatures;
+* :mod:`~repro.planner.cache` — a signature-keyed LRU plan cache with
+  explicit invalidation;
+* :mod:`~repro.planner.service` — :class:`AdaptivePlanner`, the paper's
+  exact -> IDP2 -> LinDP -> GOO routing policy with harness-style time
+  budgets and a deduplicating ``plan_many()`` batch API;
+* :mod:`~repro.planner.cli` — the ``repro-plan`` console script.
+
+Quickstart::
+
+    from repro.planner import AdaptivePlanner
+    from repro import workloads
+
+    planner = AdaptivePlanner()
+    outcome = planner.plan(workloads.star_query(10, seed=1))
+    print(outcome.decision.algorithm, outcome.cost)
+"""
+
+from .cache import PlanCache
+from .classifier import QueryClassifier, QueryProfile, structural_signature
+from .registry import (
+    DEFAULT_REGISTRY,
+    OptimizerRegistry,
+    RegisteredOptimizer,
+    build_default_registry,
+)
+from .service import AdaptivePlanner, PlannerDecision, PlanningOutcome
+
+__all__ = [
+    "PlanCache",
+    "QueryClassifier",
+    "QueryProfile",
+    "structural_signature",
+    "OptimizerRegistry",
+    "RegisteredOptimizer",
+    "build_default_registry",
+    "DEFAULT_REGISTRY",
+    "AdaptivePlanner",
+    "PlannerDecision",
+    "PlanningOutcome",
+]

@@ -1,0 +1,142 @@
+"""Plan cache: signature-keyed memoization of planning outcomes.
+
+The cache is the serving layer's answer to repeated workloads: web-style
+traffic re-issues the same parameterised query shapes over and over, and a
+join order computed once stays valid until the statistics behind it change.
+Entries are keyed on the canonical structural signature
+(:func:`~repro.planner.classifier.structural_signature`), which covers the
+cost model, cardinalities and selectivities — so any statistics change
+produces a different key, and explicit invalidation is only needed to *free*
+entries whose statistics will never recur (or on cost-model code changes).
+
+The cache is a bounded LRU with a lock around every operation, so one
+process-wide :class:`~repro.planner.service.AdaptivePlanner` can serve
+concurrent threads.  Cached :class:`~repro.optimizers.base.PlanResult`
+objects are shared, not copied — treat plans from the cache as immutable.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Callable, Dict, List, Optional
+
+__all__ = ["PlanCache"]
+
+
+class PlanCache:
+    """Bounded, thread-safe LRU cache keyed by canonical query signature."""
+
+    def __init__(self, max_entries: int = 4096):
+        if max_entries <= 0:
+            raise ValueError("PlanCache needs max_entries >= 1")
+        self.max_entries = max_entries
+        self._entries: "OrderedDict[str, object]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    # ------------------------------------------------------------------ #
+    def get(self, signature: str) -> Optional[object]:
+        """The cached outcome for ``signature``, or None (counts hit/miss)."""
+        with self._lock:
+            entry = self._entries.get(signature)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(signature)
+            self.hits += 1
+            return entry
+
+    def put(self, signature: str, outcome: object) -> None:
+        """Store ``outcome`` under ``signature``, evicting LRU entries."""
+        with self._lock:
+            if signature in self._entries:
+                self._entries.move_to_end(signature)
+            self._entries[signature] = outcome
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def invalidate(self, signature: str) -> bool:
+        """Drop one entry; True when it existed."""
+        with self._lock:
+            existed = self._entries.pop(signature, None) is not None
+            if existed:
+                self.invalidations += 1
+            return existed
+
+    def invalidate_where(self, prefix: str) -> int:
+        """Drop every entry whose signature starts with ``prefix``.
+
+        Signatures lead with ``shape:n<relations>:``, so this supports bulk
+        invalidation of e.g. every star-shaped plan after a policy change.
+        Returns the number of entries dropped.
+        """
+        with self._lock:
+            stale = [key for key in self._entries if key.startswith(prefix)]
+            for key in stale:
+                del self._entries[key]
+            self.invalidations += len(stale)
+            return len(stale)
+
+    def invalidate_if(self, predicate: Callable[[str, object], bool]) -> int:
+        """Drop every entry whose ``(key, outcome)`` satisfies ``predicate``.
+
+        Used e.g. to evict plans produced under budget pressure once the
+        pressure is lifted; the key is passed so planners sharing a cache
+        can restrict eviction to their own (policy-tagged) entries.
+        Returns the number of entries dropped.
+        """
+        with self._lock:
+            stale = [key for key, outcome in self._entries.items()
+                     if predicate(key, outcome)]
+            for key in stale:
+                del self._entries[key]
+            self.invalidations += len(stale)
+            return len(stale)
+
+    def clear(self) -> None:
+        """Drop every entry (counters are kept)."""
+        with self._lock:
+            self.invalidations += len(self._entries)
+            self._entries.clear()
+
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, signature: str) -> bool:
+        with self._lock:
+            return signature in self._entries
+
+    def signatures(self) -> List[str]:
+        """Currently cached signatures, LRU-first."""
+        with self._lock:
+            return list(self._entries)
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits / lookups, 0.0 before the first lookup."""
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
+
+    def cache_info(self) -> Dict[str, float]:
+        """Counters for benchmarks and diagnostics."""
+        with self._lock:
+            entries = len(self._entries)
+        return {
+            "entries": entries,
+            "max_entries": self.max_entries,
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hit_rate,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PlanCache({self.cache_info()})"

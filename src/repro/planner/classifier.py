@@ -1,0 +1,109 @@
+"""Query classification: join-graph fingerprints and canonical signatures.
+
+The planner needs two views of a query before it picks an algorithm:
+
+* a **profile** (:class:`QueryProfile`): the join graph's shape (tree / star
+  / snowflake / clique / general cyclic, via the cached block decomposition
+  of :class:`~repro.core.enumeration.EnumerationContext`), its size, and the
+  block structure MPDP's complexity depends on;
+* a **canonical structural signature**: a digest over everything that
+  determines the planning problem — vertex cardinalities, the edge set with
+  selectivities and PK-FK flags, and the cost model.  Two queries with equal
+  signatures are the *same* planning problem in the same vertex numbering,
+  so a cached plan for one is bit-identical for the other.  The signature
+  deliberately does **not** canonicalise vertex labels (graph-isomorphic but
+  relabelled queries get different signatures): a cached plan's leaf indices
+  live in the query's vertex space, and returning it for a relabelled twin
+  would silently permute relations.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Optional
+
+from ..core import bitmapset as bms
+from ..core.enumeration import EnumerationContext
+from ..core.query import QueryInfo
+from ..core.shapes import classify_shape, is_acyclic_shape
+
+__all__ = ["QueryProfile", "QueryClassifier", "structural_signature"]
+
+
+@dataclass(frozen=True)
+class QueryProfile:
+    """Structural fingerprint of one query's join graph."""
+
+    shape: str
+    n_relations: int
+    n_edges: int
+    is_acyclic: bool
+    #: Size of the largest biconnected component; MPDP's per-set work is
+    #: exponential in this, not in ``n_relations`` (Lemma 7).
+    max_block_size: int
+    n_blocks: int
+
+
+def structural_signature(query: QueryInfo, subset: Optional[int] = None,
+                         shape: Optional[str] = None) -> str:
+    """Canonical signature of the (sub)query's planning problem.
+
+    The digest covers, in a deterministic order independent of edge insertion
+    order: the cost model's ``cache_key()`` (name and parameters), the
+    cardinality estimator's class and row floor, every vertex's base
+    cardinality, and every induced edge's endpoints, selectivity and PK-FK
+    flag.  Floats are hashed at full ``repr`` precision — structurally
+    identical queries produced by the same deterministic generator or parser
+    hash equal, near-misses do not.  Contracted queries (composite vertices
+    with pre-built leaf plans) carry state the digest cannot see, so the
+    planner never shares cache entries for them.
+
+    The human-readable prefix (``shape:n<relations>:e<edges>:``) makes cache
+    keys and logs self-describing.
+    """
+    graph = query.graph
+    mask = query.all_relations_mask if subset is None else subset
+    if shape is None:
+        shape = classify_shape(graph, mask)
+    digest = hashlib.sha256()
+    digest.update(query.cost_model.cache_key().encode())
+    estimator = query.cardinality
+    estimator_key = getattr(estimator, "cache_key", None)
+    digest.update(
+        f"|est:{estimator_key() if callable(estimator_key) else type(estimator).__name__}".encode())
+    for vertex in bms.iter_bits(mask):
+        digest.update(f"|v{vertex}:{query.cardinality.base_rows(vertex)!r}".encode())
+    # Endpoints via the canonical (min, max) ordering: join edges are
+    # undirected, so "a.x = b.x" and "b.x = a.x" must hash equal.
+    edges = sorted(
+        edge.endpoints + (edge.selectivity, edge.is_pk_fk)
+        for edge in graph.edges_within(mask)
+    )
+    for left, right, selectivity, is_pk_fk in edges:
+        digest.update(f"|e{left}-{right}:{selectivity!r}:{int(is_pk_fk)}".encode())
+    n = bms.popcount(mask)
+    return f"{shape}:n{n}:e{len(edges)}:{digest.hexdigest()[:24]}"
+
+
+class QueryClassifier:
+    """Fingerprints queries for the planner's routing and caching layers."""
+
+    def classify(self, query: QueryInfo, subset: Optional[int] = None) -> QueryProfile:
+        """Shape-and-structure profile of the (sub)query's join graph."""
+        graph = query.graph
+        mask = query.all_relations_mask if subset is None else subset
+        shape = classify_shape(graph, mask)
+        decomposition = EnumerationContext.of(graph).find_blocks(mask)
+        return QueryProfile(
+            shape=shape,
+            n_relations=bms.popcount(mask),
+            n_edges=len(graph.edges_within(mask)),
+            is_acyclic=is_acyclic_shape(shape),
+            max_block_size=decomposition.max_block_size(),
+            n_blocks=decomposition.n_blocks,
+        )
+
+    def signature(self, query: QueryInfo, subset: Optional[int] = None) -> str:
+        """Canonical structural signature (see :func:`structural_signature`)."""
+        return structural_signature(query, subset)

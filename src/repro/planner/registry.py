@@ -1,0 +1,171 @@
+"""Optimizer registry: declarative capability metadata for every algorithm.
+
+The registry is the planner's catalog of join-order optimizers.  Each entry
+couples a factory (how to build a fresh optimizer) with the
+:class:`~repro.optimizers.base.OptimizerCapabilities` record the optimizer
+reports through ``describe()`` — exactness, parallelizability class,
+execution style, supported join-graph shapes and the practical size ceiling.
+Consumers (the adaptive planner, the parallel-CPU time model, the benchmark
+line-ups) look capabilities up here instead of poking at ad-hoc class
+attributes or matching algorithm-name prefixes.
+
+``DEFAULT_REGISTRY`` holds every optimizer the repository ships: the exact
+algorithms, the large-query heuristics, and the GPU-simulated variants.
+Custom line-ups can build their own :class:`OptimizerRegistry` and register
+factories with overridden capabilities (e.g. a larger ``max_relations`` on a
+beefier machine).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, List, Optional, Sequence
+
+from ..optimizers import EXACT_OPTIMIZERS
+from ..optimizers.base import JoinOrderOptimizer, OptimizerCapabilities
+
+__all__ = [
+    "RegisteredOptimizer",
+    "OptimizerRegistry",
+    "build_default_registry",
+    "DEFAULT_REGISTRY",
+]
+
+#: Entry categories, used for grouping in reports and the CLI.
+KIND_EXACT = "exact"
+KIND_HEURISTIC = "heuristic"
+KIND_GPU = "gpu-simulated"
+
+
+@dataclass(frozen=True)
+class RegisteredOptimizer:
+    """One registry entry: identity, construction and capabilities."""
+
+    key: str
+    factory: Callable[..., JoinOrderOptimizer]
+    capabilities: OptimizerCapabilities
+    kind: str = KIND_EXACT
+
+    def create(self, **kwargs) -> JoinOrderOptimizer:
+        """Build a fresh optimizer instance."""
+        return self.factory(**kwargs)
+
+
+class OptimizerRegistry:
+    """Name-keyed collection of optimizers with capability metadata."""
+
+    def __init__(self) -> None:
+        self._entries: "OrderedDict[str, RegisteredOptimizer]" = OrderedDict()
+        self._aliases: Dict[str, str] = {}
+
+    # ------------------------------------------------------------------ #
+    # Registration
+    # ------------------------------------------------------------------ #
+    def register(
+        self,
+        factory: Callable[..., JoinOrderOptimizer],
+        key: Optional[str] = None,
+        capabilities: Optional[OptimizerCapabilities] = None,
+        kind: str = KIND_EXACT,
+        aliases: Sequence[str] = (),
+    ) -> RegisteredOptimizer:
+        """Register ``factory`` under ``key``.
+
+        When ``key`` or ``capabilities`` are omitted they are taken from a
+        probe instance's ``describe()`` — the PostBOUND-style contract every
+        :class:`JoinOrderOptimizer` implements.  Re-registering a key
+        replaces the previous entry (aliases included).
+        """
+        if key is None or capabilities is None:
+            probe = factory()
+            if capabilities is None:
+                capabilities = probe.describe()
+            if key is None:
+                key = capabilities.name
+        entry = RegisteredOptimizer(key=key, factory=factory,
+                                    capabilities=capabilities, kind=kind)
+        self._entries[key] = entry
+        self._aliases[self._normalize(key)] = key
+        for alias in aliases:
+            self._aliases[self._normalize(alias)] = key
+        return entry
+
+    @staticmethod
+    def _normalize(name: str) -> str:
+        return name.strip().lower().replace("-", "").replace("_", "").replace(" ", "")
+
+    # ------------------------------------------------------------------ #
+    # Lookup
+    # ------------------------------------------------------------------ #
+    def find(self, name: str) -> Optional[RegisteredOptimizer]:
+        """Entry for ``name`` (exact key, alias or case-insensitive), or None."""
+        entry = self._entries.get(name)
+        if entry is not None:
+            return entry
+        key = self._aliases.get(self._normalize(name))
+        return self._entries.get(key) if key is not None else None
+
+    def get(self, name: str) -> RegisteredOptimizer:
+        """Entry for ``name``; raises ``KeyError`` listing known names."""
+        entry = self.find(name)
+        if entry is None:
+            raise KeyError(
+                f"unknown optimizer {name!r}; registered: {', '.join(self._entries)}")
+        return entry
+
+    def create(self, name: str, **kwargs) -> JoinOrderOptimizer:
+        """Build a fresh instance of the named optimizer."""
+        return self.get(name).create(**kwargs)
+
+    def capabilities(self, name: str) -> OptimizerCapabilities:
+        """Capability metadata of the named optimizer."""
+        return self.get(name).capabilities
+
+    def execution_style_of(self, name: str) -> Optional[str]:
+        """The named optimizer's execution style, or None when unregistered."""
+        entry = self.find(name)
+        return entry.capabilities.execution_style if entry is not None else None
+
+    # ------------------------------------------------------------------ #
+    # Enumeration
+    # ------------------------------------------------------------------ #
+    def names(self, kind: Optional[str] = None) -> List[str]:
+        """Registered keys, optionally restricted to one kind."""
+        return [key for key, entry in self._entries.items()
+                if kind is None or entry.kind == kind]
+
+    def __iter__(self) -> Iterator[RegisteredOptimizer]:
+        return iter(self._entries.values())
+
+    def __contains__(self, name: str) -> bool:
+        return self.find(name) is not None
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"OptimizerRegistry({list(self._entries)})"
+
+
+def build_default_registry() -> OptimizerRegistry:
+    """Registry with every optimizer the repository ships."""
+    from ..gpu.simulated import DPSizeGpu, DPSubGpu, MPDPGpu
+    from ..heuristics import HEURISTIC_OPTIMIZERS
+    from ..heuristics.lindp import LinearizedDP
+
+    registry = OptimizerRegistry()
+    for name, cls in EXACT_OPTIMIZERS.items():
+        registry.register(cls, key=name, kind=KIND_EXACT)
+    for name, cls in HEURISTIC_OPTIMIZERS.items():
+        registry.register(cls, key=name, kind=KIND_HEURISTIC)
+    registry.register(LinearizedDP, key="LinearizedDP", kind=KIND_HEURISTIC)
+    registry.register(MPDPGpu, key="MPDP (GPU)", kind=KIND_GPU)
+    registry.register(DPSubGpu, key="DPsub (GPU)", kind=KIND_GPU)
+    registry.register(DPSizeGpu, key="DPsize (GPU)", kind=KIND_GPU)
+    return registry
+
+
+#: The shared default registry (module-level singleton; build your own
+#: :class:`OptimizerRegistry` for custom line-ups instead of mutating this).
+DEFAULT_REGISTRY = build_default_registry()

@@ -1,0 +1,453 @@
+"""AdaptivePlanner: the paper's routing policy as a front-door service.
+
+The paper's end-to-end story (Sections 6-7) is a *policy*, not one
+algorithm: run exact MPDP while the query is small enough, switch to the
+tree specialisation when the join graph is acyclic, and degrade gracefully
+through IDP2-MPDP, LinDP and GOO as queries grow past what exact DP can
+afford.  :class:`AdaptivePlanner` implements that policy behind a single
+``plan()`` call:
+
+1. **classify** the query's join graph (shape, size, block structure) with
+   :class:`~repro.planner.classifier.QueryClassifier`;
+2. **route** it down the exact -> IDP2 -> LinDP -> GOO ladder, consulting the
+   :class:`~repro.planner.registry.OptimizerRegistry` for shape support and
+   practical size ceilings;
+3. **enforce the time budget** with the benchmark harness's timeout
+   semantics: a rung whose measured time exceeds the budget falls through to
+   the next rung, and is skipped outright for every future query of that
+   size or larger (the paper's one-minute-timeout protocol);
+4. **cache** the outcome under the query's canonical structural signature,
+   and deduplicate structurally identical queries inside ``plan_many()``
+   batches before any planning happens.
+
+The planner never changes what a chosen optimizer produces: the returned
+plan and cost are bit-identical to invoking that optimizer directly.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+import time
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..core.counters import OptimizerStats
+from ..core.plan import Plan
+from ..core.query import QueryInfo
+from ..core.shapes import SHAPE_DISCONNECTED
+from ..optimizers.base import JoinOrderOptimizer, OptimizationError, PlanResult
+from .cache import PlanCache
+from .classifier import QueryClassifier, QueryProfile, structural_signature
+from .registry import DEFAULT_REGISTRY, OptimizerRegistry
+
+__all__ = ["PlannerDecision", "PlanningOutcome", "AdaptivePlanner"]
+
+#: The fallback ladder, best rung first (exact rungs are chosen per shape).
+_LADDER_EXACT_TREE = "MPDP:Tree"
+_LADDER_EXACT = "MPDP"
+_LADDER_IDP = "IDP2"
+_LADDER_LINDP = "LinDP"
+_LADDER_GOO = "GOO"
+
+
+@dataclass(frozen=True)
+class PlannerDecision:
+    """Why the planner returned the plan it returned."""
+
+    #: Registry key of the optimizer that produced the plan.
+    algorithm: str
+    #: Canonical structural signature (the plan-cache key).
+    signature: str
+    #: Join-graph shape from the classifier.
+    shape: str
+    n_relations: int
+    #: The full ladder considered for this query, best rung first.
+    ladder: Tuple[str, ...] = ()
+    #: Rungs skipped before running because they blew the budget on an
+    #: earlier query of this size or smaller (harness timeout semantics).
+    skipped: Tuple[str, ...] = ()
+    #: Rungs that ran for *this* query but exceeded the budget and fell
+    #: through to the next rung.
+    fallbacks: Tuple[str, ...] = ()
+    #: True when the outcome came from the plan cache.
+    cache_hit: bool = False
+    #: True when a ``plan_many`` batch deduplicated this query onto an
+    #: earlier structurally identical one.
+    deduplicated: bool = False
+    #: True when even the rung that produced the plan exceeded the budget
+    #: (every rung fell through; the last result is returned regardless).
+    over_budget: bool = False
+    #: Total wall-clock seconds spent planning, including rungs that ran
+    #: but fell through on budget (0.0 on cache hits and dedup shares).
+    elapsed_seconds: float = 0.0
+    #: Human-readable routing rationale.
+    reason: str = ""
+
+
+@dataclass(frozen=True)
+class PlanningOutcome:
+    """A :class:`PlanResult` plus the routing decision that produced it.
+
+    Planner results never carry the optimizer's DP memo
+    (``result.memo is None``): the serving path only needs plan/cost/stats,
+    and cached results must not pin memo tables.  Invoke the optimizer
+    directly when the memo is needed.
+    """
+
+    result: PlanResult
+    decision: PlannerDecision
+
+    @property
+    def plan(self) -> Plan:
+        return self.result.plan
+
+    @property
+    def cost(self) -> float:
+        return self.result.cost
+
+    @property
+    def stats(self) -> OptimizerStats:
+        return self.result.stats
+
+    @property
+    def algorithm(self) -> str:
+        return self.decision.algorithm
+
+
+class AdaptivePlanner:
+    """Classify, route, budget, cache: the optimizer-service front door.
+
+    Args:
+        registry: optimizer catalog (defaults to the shared
+            :data:`~repro.planner.registry.DEFAULT_REGISTRY`).
+        classifier: query classifier (a default one is created).
+        cache: plan cache; pass an explicit :class:`PlanCache` to share one
+            across planners (safe even across differently-configured
+            planners — every key carries the planner's policy tag), or set
+            ``enable_cache=False`` to plan every query from scratch.
+        enable_cache: disable caching entirely when False.
+        time_budget_seconds: per-query optimization budget.  ``None`` means
+            unbounded.  A rung that exceeds the budget falls through to the
+            next rung and is remembered as timed out for every query of that
+            size or larger, mirroring the benchmark harness's protocol.
+        exact_threshold: largest cyclic query exact MPDP plans.
+        tree_threshold: largest acyclic query exact MPDP:Tree plans (the
+            tree specialisation evaluates only valid pairs — Theorem 3 — so
+            it stretches further than the general algorithm).
+        idp_threshold: largest query IDP2-MPDP plans.
+        lindp_threshold: largest query LinDP plans; beyond this only GOO.
+        idp_k: fragment size handed to IDP2's exact re-optimization step.
+    """
+
+    def __init__(
+        self,
+        registry: Optional[OptimizerRegistry] = None,
+        classifier: Optional[QueryClassifier] = None,
+        cache: Optional[PlanCache] = None,
+        enable_cache: bool = True,
+        time_budget_seconds: Optional[float] = None,
+        exact_threshold: int = 14,
+        tree_threshold: int = 16,
+        idp_threshold: int = 100,
+        lindp_threshold: int = 300,
+        idp_k: int = 10,
+    ):
+        if not (2 <= exact_threshold <= tree_threshold <= idp_threshold <= lindp_threshold):
+            raise ValueError(
+                "thresholds must satisfy 2 <= exact <= tree <= idp <= lindp")
+        self.registry = registry if registry is not None else DEFAULT_REGISTRY
+        missing = [rung for rung in (_LADDER_EXACT_TREE, _LADDER_EXACT,
+                                     _LADDER_IDP, _LADDER_LINDP, _LADDER_GOO)
+                   if rung not in self.registry]
+        if missing:
+            raise ValueError(
+                "registry is missing the planner's ladder rungs "
+                f"{missing}; register them (see repro.planner.registry."
+                "build_default_registry) or use the default registry")
+        self.classifier = classifier or QueryClassifier()
+        self.cache: Optional[PlanCache] = (
+            cache if cache is not None else PlanCache()) if enable_cache else None
+        self.time_budget_seconds = time_budget_seconds
+        self.exact_threshold = exact_threshold
+        self.tree_threshold = tree_threshold
+        self.idp_threshold = idp_threshold
+        self.lindp_threshold = lindp_threshold
+        self.idp_k = idp_k
+        #: Folded into every cache key: two planners may share a PlanCache,
+        #: and entries must never cross routing policies (a heuristic-leaning
+        #: planner's GOO plan is the wrong answer for a default planner).
+        self._policy_tag = (f"x{exact_threshold}t{tree_threshold}"
+                            f"i{idp_threshold}l{lindp_threshold}k{idp_k}")
+        #: rung -> smallest query size at which it blew the budget.
+        self._budget_exceeded: Dict[str, int] = {}
+        self._lock = threading.Lock()
+
+    def _cache_key(self, signature: str) -> str:
+        return f"{signature}|{self._policy_tag}"
+
+    # ------------------------------------------------------------------ #
+    # Routing policy
+    # ------------------------------------------------------------------ #
+    def ladder_for(self, profile: QueryProfile) -> List[str]:
+        """The fallback ladder for a profile, best rung first.
+
+        The policy table (see ARCHITECTURE.md): exact MPDP:Tree for acyclic
+        queries up to ``tree_threshold``, exact MPDP for cyclic queries up
+        to ``exact_threshold``, then IDP2-MPDP up to ``idp_threshold``,
+        LinDP up to ``lindp_threshold``, and GOO beyond.  Rungs whose
+        registry capabilities reject the shape or size are left out.
+        """
+        n = profile.n_relations
+        rungs: List[str] = []
+        if profile.is_acyclic and n <= self.tree_threshold:
+            rungs.append(_LADDER_EXACT_TREE)
+        elif n <= self.exact_threshold:
+            rungs.append(_LADDER_EXACT)
+        if n <= self.idp_threshold and n > 2:
+            rungs.append(_LADDER_IDP)
+        if n <= self.lindp_threshold:
+            rungs.append(_LADDER_LINDP)
+        rungs.append(_LADDER_GOO)
+
+        usable: List[str] = []
+        for rung in rungs:
+            capabilities = self.registry.capabilities(rung)
+            if not capabilities.supports_shape(profile.shape):
+                continue
+            if rung in (_LADDER_EXACT, _LADDER_EXACT_TREE) and not capabilities.supports_size(n):
+                continue
+            usable.append(rung)
+        return usable
+
+    def _create_rung(self, rung: str) -> JoinOrderOptimizer:
+        if rung == _LADDER_IDP:
+            return self.registry.create(rung, k=self.idp_k)
+        if rung == _LADDER_LINDP:
+            # As a fallback rung LinDP must genuinely degrade: AdaptiveLinDP's
+            # default re-runs exact DPccp below 14 relations, which would make
+            # a budget fallback from exact MPDP run a *second* exponential DP.
+            # exact_threshold=0 keeps it on the linearized O(n^3) path (and
+            # on IDP2-over-linearized beyond its linearized threshold).
+            return self.registry.create(rung, exact_threshold=0)
+        return self.registry.create(rung)
+
+    # ------------------------------------------------------------------ #
+    # Planning
+    # ------------------------------------------------------------------ #
+    def plan(self, query: QueryInfo) -> PlanningOutcome:
+        """Plan one query through classification, routing, budget and cache."""
+        profile = self.classifier.classify(query)
+        signature = structural_signature(query, shape=profile.shape)
+        return self._plan(query, profile, signature)
+
+    def plan_many(self, queries: Iterable[QueryInfo],
+                  on_error: str = "raise") -> List[Optional[PlanningOutcome]]:
+        """Plan a batch, deduplicating structurally identical queries first.
+
+        Every query gets an outcome (in input order); structurally identical
+        queries after the first share its result object, with
+        ``decision.deduplicated`` set.  With the cache enabled, repeats
+        across batches hit the cache as well.
+
+        Args:
+            on_error: ``"raise"`` (default) propagates the first
+                :class:`OptimizationError` (e.g. a disconnected join graph),
+                discarding the batch; ``"none"`` records ``None`` for the
+                failing queries and keeps planning the rest — the serving
+                behaviour, where one bad query must not sink the batch.
+        """
+        if on_error not in ("raise", "none"):
+            raise ValueError("on_error must be 'raise' or 'none'")
+        outcomes: List[Optional[PlanningOutcome]] = []
+        seen: Dict[str, PlanningOutcome] = {}
+        for query in queries:
+            try:
+                profile = self.classifier.classify(query)
+                signature = structural_signature(query, shape=profile.shape)
+                shareable = not query.is_contracted and not query.has_custom_leaf_plans
+                base = seen.get(signature) if shareable else None
+                if base is not None:
+                    outcomes.append(PlanningOutcome(
+                        result=base.result,
+                        decision=dataclasses.replace(base.decision,
+                                                     deduplicated=True,
+                                                     elapsed_seconds=0.0),
+                    ))
+                    continue
+                outcome = self._plan(query, profile, signature)
+            except OptimizationError:
+                if on_error == "raise":
+                    raise
+                outcomes.append(None)
+                continue
+            # Mirror the cache rule: budget-degraded outcomes are transient
+            # and must not be shared with later twins in the batch (a re-plan
+            # skips the remembered rung and produces the steady-state plan).
+            degraded = (outcome.decision.over_budget
+                        or outcome.decision.fallbacks)
+            if shareable and not degraded:
+                seen[signature] = outcome
+            outcomes.append(outcome)
+        return outcomes
+
+    def _plan(self, query: QueryInfo, profile: QueryProfile,
+              signature: str) -> PlanningOutcome:
+        if profile.shape == SHAPE_DISCONNECTED:
+            raise OptimizationError(
+                f"cannot plan {query.name or 'query'}: the join graph is "
+                "disconnected (cross products are not supported)")
+        # Contracted queries and queries with pre-built leaf plans carry cost
+        # state the structural signature cannot see; never share cache
+        # entries for them (plan_many's dedup applies the same rule).
+        cacheable = (self.cache is not None and not query.is_contracted
+                     and not query.has_custom_leaf_plans)
+        if cacheable:
+            cached = self.cache.get(self._cache_key(signature))
+            if cached is not None:
+                return PlanningOutcome(
+                    result=cached.result,
+                    decision=dataclasses.replace(cached.decision,
+                                                 cache_hit=True,
+                                                 deduplicated=False,
+                                                 elapsed_seconds=0.0),
+                )
+
+        ladder = self.ladder_for(profile)
+        n = profile.n_relations
+        skipped: List[str] = []
+        runnable: List[str] = []
+        with self._lock:
+            for rung in ladder:
+                exceeded_at = self._budget_exceeded.get(rung)
+                if exceeded_at is not None and n >= exceeded_at:
+                    skipped.append(rung)
+                else:
+                    runnable.append(rung)
+        if not runnable:
+            # Every rung is remembered as over budget; run the cheapest one
+            # anyway — the service must return *a* plan.
+            runnable = [ladder[-1]]
+            skipped.remove(ladder[-1])
+
+        budget = self.time_budget_seconds
+        fallbacks: List[str] = []
+        result: Optional[PlanResult] = None
+        chosen = runnable[-1]
+        total_elapsed = 0.0
+        over_budget = False
+        for index, rung in enumerate(runnable):
+            optimizer = self._create_rung(rung)
+            start = time.perf_counter()
+            result = optimizer.optimize(query)
+            elapsed = time.perf_counter() - start
+            total_elapsed += elapsed
+            exceeded = budget is not None and elapsed > budget
+            if exceeded:
+                with self._lock:
+                    known = self._budget_exceeded.get(rung)
+                    if known is None or n < known:
+                        self._budget_exceeded[rung] = n
+            if exceeded and index < len(runnable) - 1:
+                fallbacks.append(rung)
+                continue
+            chosen = rung
+            over_budget = exceeded
+            break
+        assert result is not None  # runnable is never empty
+        # Planner results never carry the DP memo — neither fresh nor cached
+        # (the cache must not pin thousands of Plan objects per entry, and
+        # result shape must not depend on cache warmth).  Callers that need
+        # the memo invoke the optimizer directly.
+        result = dataclasses.replace(result, memo=None)
+
+        decision = PlannerDecision(
+            algorithm=chosen,
+            signature=signature,
+            shape=profile.shape,
+            n_relations=n,
+            ladder=tuple(ladder),
+            skipped=tuple(skipped),
+            fallbacks=tuple(fallbacks),
+            over_budget=over_budget,
+            elapsed_seconds=total_elapsed,
+            reason=self._reason(profile, chosen, skipped, fallbacks),
+        )
+        outcome = PlanningOutcome(result=result, decision=decision)
+        # Outcomes whose chosen rung itself blew the budget (or that fell
+        # through rungs mid-flight) are not cached — they reflect transient
+        # pressure and would pin the weaker plan for this signature.
+        # Outcomes that merely *skipped* remembered-over-budget rungs are the
+        # planner's steady-state answer under the current budget, so they are
+        # cached for throughput; reset_budget_memory() evicts them again.
+        degraded = over_budget or bool(fallbacks)
+        if cacheable and not degraded:
+            self.cache.put(self._cache_key(signature), outcome)
+        return outcome
+
+    def _reason(self, profile: QueryProfile, chosen: str,
+                skipped: List[str], fallbacks: List[str]) -> str:
+        n = profile.n_relations
+        if chosen == _LADDER_EXACT_TREE:
+            base = (f"acyclic {profile.shape} with {n} relations "
+                    f"<= tree_threshold={self.tree_threshold}: exact tree MPDP")
+        elif chosen == _LADDER_EXACT:
+            base = (f"{profile.shape} with {n} relations "
+                    f"<= exact_threshold={self.exact_threshold}: exact MPDP "
+                    f"(max block size {profile.max_block_size})")
+        elif chosen == _LADDER_IDP:
+            base = (f"{n} relations <= idp_threshold={self.idp_threshold}: "
+                    f"IDP2-MPDP (k={self.idp_k})")
+        elif chosen == _LADDER_LINDP:
+            base = f"{n} relations <= lindp_threshold={self.lindp_threshold}: LinDP"
+        else:
+            base = f"{n} relations beyond every DP threshold: greedy GOO"
+        notes = []
+        if skipped:
+            notes.append(f"skipped {'+'.join(skipped)} (earlier budget overruns)")
+        if fallbacks:
+            notes.append(f"fell back past {'+'.join(fallbacks)} (over budget)")
+        return base + (f" [{'; '.join(notes)}]" if notes else "")
+
+    # ------------------------------------------------------------------ #
+    # Cache management
+    # ------------------------------------------------------------------ #
+    def signature_of(self, query: QueryInfo) -> str:
+        """The canonical structural signature of ``query``.
+
+        Note this is not the raw cache key: the planner appends its policy
+        tag before touching the cache, so use :meth:`invalidate` (not
+        ``cache.invalidate(signature_of(q))``) to drop a cached plan.
+        """
+        return structural_signature(query)
+
+    def invalidate(self, query: QueryInfo) -> bool:
+        """Drop this planner's cached plan of one query; True when it existed."""
+        if self.cache is None:
+            return False
+        return self.cache.invalidate(self._cache_key(self.signature_of(query)))
+
+    def reset_budget_memory(self) -> None:
+        """Forget recorded budget overruns (rungs become eligible again).
+
+        Cached outcomes that were planned with rungs skipped under the old
+        budget memory are evicted, so the newly eligible rungs get their
+        chance on the next structurally identical query.
+        """
+        with self._lock:
+            self._budget_exceeded.clear()
+        if self.cache is not None:
+            tag = f"|{self._policy_tag}"
+            self.cache.invalidate_if(
+                lambda key, outcome: key.endswith(tag)
+                and bool(outcome.decision.skipped))
+
+    def cache_info(self) -> Dict[str, float]:
+        """The plan cache's counters (empty when caching is disabled)."""
+        return self.cache.cache_info() if self.cache is not None else {}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"AdaptivePlanner(exact<={self.exact_threshold}, "
+                f"tree<={self.tree_threshold}, idp<={self.idp_threshold}, "
+                f"lindp<={self.lindp_threshold}, "
+                f"budget={self.time_budget_seconds}, cache={self.cache!r})")

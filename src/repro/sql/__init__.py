@@ -1,5 +1,13 @@
 """Minimal SQL front end for inner-equi-join queries."""
 
 from .parser import ParsedQuery, SQLParseError, parse_join_query
+from .frontdoor import PlannedSQL, plan_sql, plan_sql_many
 
-__all__ = ["ParsedQuery", "SQLParseError", "parse_join_query"]
+__all__ = [
+    "ParsedQuery",
+    "SQLParseError",
+    "parse_join_query",
+    "PlannedSQL",
+    "plan_sql",
+    "plan_sql_many",
+]

@@ -1,0 +1,72 @@
+"""SQL front door: one call from query text to a routed, cached plan.
+
+``plan_sql`` chains the minimal SQL parser with the adaptive planner, so
+callers serving SQL traffic never hand-instantiate optimizer classes::
+
+    from repro.planner import AdaptivePlanner
+    from repro.sql import plan_sql
+
+    planner = AdaptivePlanner()          # shared: its plan cache is the point
+    planned = plan_sql(sql_text, catalog, planner=planner)
+    print(planned.outcome.decision.algorithm, planned.outcome.cost)
+
+Repeated structurally identical statements hit the planner's signature-keyed
+cache; ``plan_sql_many`` batches a list of statements through
+:meth:`~repro.planner.service.AdaptivePlanner.plan_many`, which deduplicates
+them before any planning happens.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..catalog.schema import Catalog
+from ..cost.base import CostModel
+from ..planner.service import AdaptivePlanner, PlanningOutcome
+from .parser import ParsedQuery, parse_join_query
+
+__all__ = ["PlannedSQL", "plan_sql", "plan_sql_many"]
+
+
+@dataclass(frozen=True)
+class PlannedSQL:
+    """A parsed SQL query together with its planning outcome."""
+
+    parsed: ParsedQuery
+    outcome: PlanningOutcome
+
+    @property
+    def algorithm(self) -> str:
+        return self.outcome.decision.algorithm
+
+    @property
+    def cost(self) -> float:
+        return self.outcome.cost
+
+
+def plan_sql(sql: str, catalog: Catalog,
+             planner: Optional[AdaptivePlanner] = None,
+             cost_model: Optional[CostModel] = None,
+             name: Optional[str] = None) -> PlannedSQL:
+    """Parse ``sql`` against ``catalog`` and plan it through the planner.
+
+    A fresh :class:`AdaptivePlanner` is created when none is given, but
+    callers that issue more than one statement should pass a shared planner
+    so its plan cache and budget memory carry across calls.
+    """
+    parsed = parse_join_query(sql, catalog, cost_model=cost_model, name=name)
+    planner = planner or AdaptivePlanner()
+    return PlannedSQL(parsed=parsed, outcome=planner.plan(parsed.query))
+
+
+def plan_sql_many(statements: Sequence[str], catalog: Catalog,
+                  planner: Optional[AdaptivePlanner] = None,
+                  cost_model: Optional[CostModel] = None) -> List[PlannedSQL]:
+    """Parse and plan a batch of statements with structural deduplication."""
+    planner = planner or AdaptivePlanner()
+    parsed = [parse_join_query(sql, catalog, cost_model=cost_model)
+              for sql in statements]
+    outcomes = planner.plan_many([entry.query for entry in parsed])
+    return [PlannedSQL(parsed=entry, outcome=outcome)
+            for entry, outcome in zip(parsed, outcomes)]

@@ -30,7 +30,7 @@ from ..core.query import QueryInfo
 from ..cost.base import CostModel
 from ..cost.postgres import PostgresCostModel
 
-__all__ = ["SQLParseError", "ParsedQuery", "parse_join_query"]
+__all__ = ["SQLParseError", "ParsedQuery", "parse_join_query", "referenced_tables"]
 
 #: Default selectivities for filter predicates when no histogram is available.
 _EQUALITY_DEFAULT = None  # 1 / NDV, resolved against the catalog
@@ -89,6 +89,16 @@ def _parse_from(sql: str) -> List[Tuple[str, str]]:
         else:
             raise SQLParseError(f"cannot parse FROM item {item!r}")
     return result
+
+
+def referenced_tables(sql: str) -> List[str]:
+    """The table names the query's FROM clause references, in clause order.
+
+    Duplicate table references (several aliases of one table) are kept.
+    Raises :class:`SQLParseError` on an unsupported FROM clause, like
+    :func:`parse_join_query` would.
+    """
+    return [table for table, _alias in _parse_from(sql)]
 
 
 def parse_join_query(sql: str, catalog: Catalog,
