@@ -19,6 +19,7 @@ from .shapes import ACYCLIC_SHAPES, ALL_SHAPES, CYCLIC_SHAPES, classify_shape, i
 from .unionfind import UnionFind
 from .plan import JoinMethod, Plan, join_plan, scan_plan
 from .memo import MemoTable
+from .arena import PlanArena
 from .counters import OptimizerStats, Stopwatch
 from .query import QueryInfo
 
@@ -48,6 +49,7 @@ __all__ = [
     "scan_plan",
     "join_plan",
     "MemoTable",
+    "PlanArena",
     "OptimizerStats",
     "Stopwatch",
     "QueryInfo",

@@ -36,6 +36,11 @@ class OptimizerStats:
         connected_sets: number of connected sets actually planned.
         level_sets: per DP level (index = subset size), how many connected
             sets were planned at that level.
+        level_considered: per DP level, how many candidate sets entered the
+            level's unrank/filter stage (connected or not).  This is the real
+            batch size the kernel pipeline processed at that level; for the
+            GPU-literal unrank mode it equals ``C(n, level)``, for direct
+            enumeration it equals the number of connected sets.
         level_pairs: per DP level, how many join pairs were evaluated.
         level_ccp: per DP level, how many of those were valid CCP pairs.
         memo_entries: number of entries in the memo at the end.
@@ -50,6 +55,7 @@ class OptimizerStats:
     sets_considered: int = 0
     connected_sets: int = 0
     level_sets: Dict[int, int] = field(default_factory=dict)
+    level_considered: Dict[int, int] = field(default_factory=dict)
     level_pairs: Dict[int, int] = field(default_factory=dict)
     level_ccp: Dict[int, int] = field(default_factory=dict)
     memo_entries: int = 0
@@ -60,9 +66,39 @@ class OptimizerStats:
     def record_set(self, level: int, connected: bool) -> None:
         """Record that one candidate set of size ``level`` was considered."""
         self.sets_considered += 1
+        self.level_considered[level] = self.level_considered.get(level, 0) + 1
         if connected:
             self.connected_sets += 1
             self.level_sets[level] = self.level_sets.get(level, 0) + 1
+
+    def record_sets(self, level: int, count: int, connected: bool = True) -> None:
+        """Bulk form of :meth:`record_set` for one level batch of candidates.
+
+        Used by the kernel backends, which account a whole DP level at once;
+        the resulting counters are identical to ``count`` calls of
+        :meth:`record_set`.
+        """
+        if count <= 0:
+            return
+        self.sets_considered += count
+        self.level_considered[level] = self.level_considered.get(level, 0) + count
+        if connected:
+            self.connected_sets += count
+            self.level_sets[level] = self.level_sets.get(level, 0) + count
+
+    def record_pairs(self, level: int, count: int, ccp_count: int = 0) -> None:
+        """Bulk pair accounting for one kernel batch at DP level ``level``.
+
+        Equivalent to ``count`` :meth:`record_pair` calls of which
+        ``ccp_count`` passed the CCP checks.
+        """
+        if count <= 0:
+            return
+        self.evaluated_pairs += count
+        self.level_pairs[level] = self.level_pairs.get(level, 0) + count
+        if ccp_count > 0:
+            self.ccp_pairs += ccp_count
+            self.level_ccp[level] = self.level_ccp.get(level, 0) + ccp_count
 
     def record_pair(self, level: int, is_ccp: bool) -> None:
         """Record the evaluation of one join pair at DP level ``level``."""
@@ -102,6 +138,8 @@ class OptimizerStats:
         self.connected_sets += other.connected_sets
         for level, count in other.level_sets.items():
             self.level_sets[level] = self.level_sets.get(level, 0) + count
+        for level, count in other.level_considered.items():
+            self.level_considered[level] = self.level_considered.get(level, 0) + count
         for level, count in other.level_pairs.items():
             self.level_pairs[level] = self.level_pairs.get(level, 0) + count
         for level, count in other.level_ccp.items():

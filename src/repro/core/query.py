@@ -138,6 +138,20 @@ class QueryInfo:
             return self.cardinality.rows(vertex_mask)
         return self.root.cardinality.rows(self.root_mask_of(vertex_mask))
 
+    def rows_batch(self, vertex_masks):
+        """Batched :meth:`rows` over an array of vertex bitmaps (float64).
+
+        Ordinary queries delegate to the estimator's deduplicating batch
+        entry point; contracted queries translate masks through the root
+        mapping per element (their batches are small — fragment DP levels).
+        """
+        if not self.is_contracted:
+            return self.cardinality.rows_batch(vertex_masks)
+        import numpy as np
+
+        return np.array([self.rows(int(mask)) for mask in vertex_masks],
+                        dtype=np.float64)
+
     def leaf_plan(self, vertex: int) -> Plan:
         """Access plan for one vertex (a scan, or a pre-built composite plan)."""
         cached = self._scan_cache.get(vertex)

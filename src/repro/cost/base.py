@@ -5,15 +5,53 @@ two methods — :meth:`CostModel.scan` to build a leaf plan and
 :meth:`CostModel.join` to build the cheapest join of two subplans — so
 swapping the PostgreSQL-like model for ``C_out`` (as IKKBZ / LinDP do) is a
 one-argument change.
+
+The vectorized kernel backend (:mod:`repro.exec.vectorized`) additionally
+needs to cost a whole batch of candidate pairs without materialising a
+``Plan`` per pair.  Two entry points serve that:
+
+* :meth:`CostModel.join_cost_from_stats` — the cost of one join given only
+  the children's ``(rows, cost)`` statistics.  The default routes through
+  :meth:`join` with throwaway stub plans, so every model gets it for free.
+* :meth:`CostModel.cost_batch` — the array form.  The default is a scalar
+  fallback loop over :meth:`join_cost_from_stats` (this is the path the
+  PostgreSQL-like model takes); models whose arithmetic is expressible as
+  elementwise array operations override it — :class:`~repro.cost.cout.CoutCostModel`
+  does, with numpy.
+
+The hard contract, enforced by :class:`~repro.core.arena.PlanArena` during
+plan materialization, is **bit-identity**: for every pair,
+``cost_batch(...)[i]`` must equal ``join(left, right, rows).cost`` down to
+the last IEEE-754 bit, because the batched value is what the DP compared and
+the ``join()`` value is what the materialized plan carries.  Overrides must
+therefore replicate the exact floating-point operation order of ``join``.
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from dataclasses import dataclass
 
-from ..core.plan import Plan
+from ..core.plan import JoinMethod, Plan
 
 __all__ = ["CostModel"]
+
+
+@dataclass(frozen=True)
+class _StubPlan:
+    """Minimal stand-in carrying just the statistics ``join`` reads.
+
+    ``relations`` values 1 and 2 keep the children disjoint so
+    ``join_plan``'s overlap check passes.
+    """
+
+    relations: int
+    rows: float
+    cost: float
+    method: str = JoinMethod.SCAN
+    left: None = None
+    right: None = None
+    relation_index: int = 0
 
 
 class CostModel(ABC):
@@ -38,6 +76,48 @@ class CostModel(ABC):
     def join_cost_only(self, left: Plan, right: Plan, output_rows: float) -> float:
         """Convenience: cost of the cheapest join without materialising a Plan."""
         return self.join(left, right, output_rows).cost
+
+    # ------------------------------------------------------------------ #
+    # Batched costing (the kernel backends' contract)
+    # ------------------------------------------------------------------ #
+    def join_cost_from_stats(self, left_rows: float, left_cost: float,
+                             right_rows: float, right_cost: float,
+                             output_rows: float) -> float:
+        """Cost of the cheapest join of two subplans known only by statistics.
+
+        Must return exactly ``join(left, right, output_rows).cost`` for
+        subplans with those ``rows``/``cost`` values.  The default builds
+        two stub plans and calls :meth:`join`, which is correct for every
+        model whose join cost depends on the children only through their
+        statistics (all models in this repository do).
+        """
+        left = _StubPlan(relations=1, rows=left_rows, cost=left_cost)
+        right = _StubPlan(relations=2, rows=right_rows, cost=right_cost)
+        return self.join(left, right, output_rows).cost  # type: ignore[arg-type]
+
+    def cost_batch(self, left_rows, left_costs, right_rows, right_costs,
+                   output_rows):
+        """Vectorized join costing over parallel arrays of pair statistics.
+
+        Args are 1-D array-likes of equal length (numpy arrays on the hot
+        path); the result is a ``float64`` array of per-pair costs,
+        bit-identical to calling :meth:`join` per pair.
+
+        The default is the documented *scalar fallback*: a Python loop over
+        :meth:`join_cost_from_stats`.  Models with elementwise-expressible
+        arithmetic (``C_out``) override this with real array kernels; the
+        PostgreSQL-like model intentionally stays on the fallback because its
+        ``log2`` term is not guaranteed bit-identical between ``math`` and
+        numpy implementations.
+        """
+        import numpy as np
+
+        return np.array([
+            self.join_cost_from_stats(float(lr), float(lc), float(rr),
+                                      float(rc), float(out))
+            for lr, lc, rr, rc, out in zip(left_rows, left_costs, right_rows,
+                                           right_costs, output_rows)
+        ], dtype=np.float64)
 
     def cache_key(self) -> str:
         """Stable identifier of this model *and its configuration*.

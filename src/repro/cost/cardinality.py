@@ -88,6 +88,26 @@ class CardinalityEstimator:
         self._cache[relations] = estimate
         return estimate
 
+    def rows_batch(self, masks):
+        """Estimates for a whole batch of relation sets, as a float64 array.
+
+        The batched entry point of the kernel backends: the batch is
+        deduplicated with numpy (DP levels ask for the same target set once
+        per candidate pair), each *distinct* set is estimated once, and the
+        results are gathered back.  The per-set estimate deliberately stays
+        on the scalar log-space accumulation of :meth:`rows` — IEEE-754
+        summation order is part of the bit-identity contract between the
+        scalar and vectorized backends, and it shares the same memo, so a
+        set estimated by either backend is a cache hit for the other.
+        """
+        import numpy as np
+
+        masks = np.asarray(masks, dtype=np.int64)
+        unique, inverse = np.unique(masks, return_inverse=True)
+        estimates = np.array([self.rows(int(mask)) for mask in unique],
+                             dtype=np.float64)
+        return estimates[inverse]
+
     def join_rows(self, left: int, right: int) -> float:
         """Cardinality of joining two disjoint relation sets.
 

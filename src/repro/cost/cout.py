@@ -28,3 +28,19 @@ class CoutCostModel(CostModel):
         """Charge the join its output size on top of the children's cost."""
         cost = left.cost + right.cost + output_rows
         return join_plan(left, right, output_rows, cost, JoinMethod.HASH_JOIN)
+
+    def join_cost_from_stats(self, left_rows: float, left_cost: float,
+                             right_rows: float, right_cost: float,
+                             output_rows: float) -> float:
+        """Scalar form of the C_out sum, same operation order as ``join``."""
+        return left_cost + right_cost + output_rows
+
+    def cost_batch(self, left_rows, left_costs, right_rows, right_costs,
+                   output_rows):
+        """True array kernel: elementwise float64 adds in ``join``'s order.
+
+        ``(left + right) + output`` per lane is the exact IEEE-754 sequence
+        the scalar path performs, so batched and per-pair costs are
+        bit-identical (the :class:`~repro.core.arena.PlanArena` contract).
+        """
+        return (left_costs + right_costs) + output_rows

@@ -17,11 +17,19 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import NamedTuple
 
 from ..core.plan import JoinMethod, Plan, join_plan, scan_plan
 from .base import CostModel
 
 __all__ = ["PostgresCostParameters", "PostgresCostModel"]
+
+
+class _SideStats(NamedTuple):
+    """The two statistics the private join-cost formulas read from a plan."""
+
+    rows: float
+    cost: float
 
 
 @dataclass(frozen=True)
@@ -63,6 +71,26 @@ class PostgresCostModel(CostModel):
     # ------------------------------------------------------------------ #
     def join(self, left: Plan, right: Plan, output_rows: float) -> Plan:
         """Return the cheapest of hash, nested-loop and merge join."""
+        best_cost, best_method = self._best_join(left, right, output_rows)
+        return join_plan(left, right, output_rows, best_cost, best_method)
+
+    def join_cost_from_stats(self, left_rows: float, left_cost: float,
+                             right_rows: float, right_cost: float,
+                             output_rows: float) -> float:
+        """Scalar batched-costing fallback: no ``Plan`` objects allocated.
+
+        The formulas only read ``rows``/``cost`` from the operands, so a
+        lightweight stats tuple feeds the exact code path ``join`` uses —
+        the costs are bit-identical by construction.  There is deliberately
+        no vectorized ``cost_batch`` override: the merge-join ``log2`` term
+        is not guaranteed to round identically in ``math`` and numpy.
+        """
+        left = _SideStats(left_rows, left_cost)
+        right = _SideStats(right_rows, right_cost)
+        return self._best_join(left, right, output_rows)[0]
+
+    def _best_join(self, left, right, output_rows: float):
+        """Cheapest ``(cost, method)`` over the three physical operators."""
         best_cost = math.inf
         best_method = JoinMethod.HASH_JOIN
         for method, cost in (
@@ -73,7 +101,7 @@ class PostgresCostModel(CostModel):
             if cost < best_cost:
                 best_cost = cost
                 best_method = method
-        return join_plan(left, right, output_rows, best_cost, best_method)
+        return best_cost, best_method
 
     def _hash_join_cost(self, left: Plan, right: Plan, output_rows: float) -> float:
         """Hash join: build the smaller side, probe with the larger."""

@@ -1,0 +1,31 @@
+"""Pluggable kernel execution backends for the level-parallel DP optimizers.
+
+See :mod:`repro.exec.backend` for the :class:`KernelBackend` protocol and the
+scalar reference implementation, and :mod:`repro.exec.vectorized` for the
+batched numpy backend.  ``VectorizedBackend`` is intentionally not imported
+eagerly — environments without numpy can still use everything scalar.
+"""
+
+from .backend import (
+    AUTO_VECTORIZE_MIN_RELATIONS,
+    BACKEND_NAMES,
+    KernelBackend,
+    KernelOptimizerMixin,
+    KernelState,
+    ScalarBackend,
+    iter_tree_edge_splits,
+    resolve_backend,
+    vectorized_supported,
+)
+
+__all__ = [
+    "AUTO_VECTORIZE_MIN_RELATIONS",
+    "BACKEND_NAMES",
+    "KernelBackend",
+    "KernelOptimizerMixin",
+    "KernelState",
+    "ScalarBackend",
+    "iter_tree_edge_splits",
+    "resolve_backend",
+    "vectorized_supported",
+]

@@ -1,0 +1,756 @@
+"""Vectorized kernel backend: DP levels as batched numpy array kernels.
+
+This backend realizes the paper's kernel pipeline (Section 5) on the CPU:
+instead of walking candidate splits one Python iteration at a time, each DP
+level is executed as four array stages over the whole level batch —
+
+1. **unrank** — materialise every candidate split of the level as int64
+   bitmap arrays.  Submask splits use the combinatorial dense→sparse deposit
+   (a 0/1 dense-bits matrix times a per-target bit-weight matrix, i.e. a
+   batched PDEP); tree splits use precomputed subtree descendant masks.
+2. **filter** — CCP validity as boolean masks.  Connectivity of an operand
+   is a *membership* test: the arena holds exactly the connected subsets of
+   every smaller size, so one ``searchsorted`` against its sorted key column
+   answers ``is_connected`` for the whole batch; adjacency is a bitwise AND
+   against the snapshot's per-subset neighbour bitmaps (the same derived
+   state :class:`~repro.core.enumeration.EnumerationContext` memoizes for
+   the scalar path).
+3. **evaluate** — gather the surviving pairs' child statistics from the
+   arena columns and cost them with one
+   :meth:`~repro.cost.base.CostModel.cost_batch` call.
+4. **scatter-min** — reduce per target set with the memo's exact
+   first-cheapest-wins rule: the winner is the pair with minimal cost and,
+   among cost ties, minimal *sequence number* in the scalar backend's
+   emission order.  Ties are common (operand-swapped pairs cost the same
+   under every shipped model), so the sequence tie-break is what keeps
+   plans bit-identical to :class:`~repro.exec.backend.ScalarBackend`.
+
+Everything order-sensitive is pinned to the scalar reference: targets are
+processed in ascending-mask order, submask splits carry their dense rank,
+tree splits carry twice their edge index, and DPsize pairs carry their
+row-major grid position.  ``tests/test_exec_backends.py`` asserts
+bit-identical plans, costs and counters across workloads and topologies.
+
+Degenerate shapes (a biconnected block or level wider than
+:data:`_MAX_DENSE_BITS` bits, whose dense split matrix would not fit in
+memory) fall back to the scalar loops per block — against the same arena,
+so results are unaffected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core import bitmapset as bms
+from ..core.arena import PlanArena
+from ..core.query import QueryInfo
+from .backend import KernelBackend, KernelState, ScalarBackend
+
+__all__ = ["VectorizedBackend"]
+
+#: Widest submask universe expanded through the dense split matrix
+#: (``2^k`` rows); larger blocks/levels take the scalar fallback.
+_MAX_DENSE_BITS = 16
+
+#: Target number of array elements per processing chunk (bounds transient
+#: memory at roughly a few hundred megabytes across the per-chunk arrays).
+_CHUNK_ELEMENTS = 1 << 20
+
+#: Dense 0/1 bit matrices, cached per universe width.
+_DENSE_CACHE: Dict[int, np.ndarray] = {}
+
+_SEQ_MAX = np.iinfo(np.int64).max
+
+
+def _dense_matrix(k: int) -> np.ndarray:
+    """(2^k - 2, k) matrix: row ``d-1`` holds the bits of dense value ``d``.
+
+    Row order is ascending ``d``, which is exactly the canonical submask
+    enumeration order of :func:`~repro.core.bitmapset.iter_proper_nonempty_subsets`,
+    so a row index doubles as the split's within-target sequence number.
+    """
+    cached = _DENSE_CACHE.get(k)
+    if cached is None:
+        dense = np.arange(1, (1 << k) - 1, dtype=np.int64)
+        cached = ((dense[:, None] >> np.arange(k, dtype=np.int64)[None, :]) & 1)
+        _DENSE_CACHE[k] = cached
+    return cached
+
+
+def _bit_positions(masks: np.ndarray, k: int, n_bits: int) -> np.ndarray:
+    """(m, k) matrix of each mask's set-bit positions, ascending per row.
+
+    Every mask must have exactly ``k`` set bits (one DP level's targets, or
+    one size group's blocks).
+    """
+    membership = (
+        (masks[:, None] >> np.arange(n_bits, dtype=np.int64)[None, :]) & 1
+    ).astype(bool)
+    return np.nonzero(membership)[1].reshape(len(masks), k)
+
+
+def _blocks_and_hangs(graph, target: int):
+    """Blocks of ``target`` plus the hang-off mask of every block vertex.
+
+    One fused Hopcroft–Tarjan DFS replaces the scalar path's
+    ``find_blocks`` *and* its per-pair grow-lifts: the same lowpoint walk
+    that pops the biconnected blocks (in exactly
+    :func:`repro.core.blocks.find_blocks`'s emission order — neighbours are
+    scanned ascending, blocks appended as their articulation closes) also
+    records the DFS tree, from which every hang-off follows.  The block
+    *order* must stay identical to ``find_blocks`` because the scalar
+    backend's cost-tie winners depend on it;
+    ``tests/test_exec_backends.py::TestBlockOrderCoupling`` pins the two
+    implementations against each other.
+
+    The grow-lift of a block split attaches, to each block vertex it keeps,
+    the connected components of ``target \\ block`` hanging off that vertex.
+    In the DFS tree every non-top block vertex's parent edge stays inside
+    the block, so a child subtree either belongs to the block or is exactly
+    one hang-off piece, and everything outside the subtree of the block's
+    shallowest vertex (``top``) hangs off ``top``.
+
+    Returns ``(blocks, hangs)``; ``hangs[i]`` is a list of per-bit
+    (ascending vertex order) hang masks for ``blocks[i]``, or ``None`` when
+    the block spans the whole target (the grow-identity fast path).
+    """
+    adjacency = graph._adjacency
+    root = bms.lowest_bit_index(target)
+    visited = 1 << root
+    discovery = {root: 0}
+    low = {root: 0}
+    parent_of = {root: -1}
+    order = [root]
+    children: Dict[int, List[int]] = {root: []}
+    counter = 1
+    blocks: List[int] = []
+    edge_stack: List[Tuple[int, int]] = []
+    # Frame: [vertex, unvisited-or-back-edge candidates still to scan].
+    frames: List[List[int]] = [[root, adjacency[root] & target]]
+    while frames:
+        frame = frames[-1]
+        vertex = frame[0]
+        pending = frame[1]
+        pushed = False
+        while pending:
+            low_bit = pending & -pending
+            pending ^= low_bit
+            neighbour = low_bit.bit_length() - 1
+            if neighbour == parent_of[vertex]:
+                continue
+            if low_bit & visited:
+                if discovery[neighbour] < discovery[vertex]:
+                    # Back edge to an ancestor.
+                    edge_stack.append((vertex, neighbour))
+                    if discovery[neighbour] < low[vertex]:
+                        low[vertex] = discovery[neighbour]
+                continue
+            visited |= low_bit
+            discovery[neighbour] = low[neighbour] = counter
+            counter += 1
+            parent_of[neighbour] = vertex
+            order.append(neighbour)
+            children[vertex].append(neighbour)
+            children[neighbour] = []
+            edge_stack.append((vertex, neighbour))
+            frame[1] = pending
+            frames.append([neighbour, adjacency[neighbour] & target])
+            pushed = True
+            break
+        if pushed:
+            continue
+        frames.pop()
+        if not frames:
+            continue
+        parent_vertex = frames[-1][0]
+        if low[vertex] < low[parent_vertex]:
+            low[parent_vertex] = low[vertex]
+        if low[vertex] >= discovery[parent_vertex]:
+            # parent_vertex separates the subtree rooted at vertex: pop the
+            # block whose deepest tree edge is (parent_vertex, vertex).
+            block_mask = 0
+            while edge_stack:
+                a, b = edge_stack.pop()
+                block_mask |= (1 << a) | (1 << b)
+                if a == parent_vertex and b == vertex:
+                    break
+            if block_mask:
+                blocks.append(block_mask)
+
+    descendants: Dict[int, int] = {}
+    for vertex in reversed(order):
+        mask = 1 << vertex
+        for child in children[vertex]:
+            mask |= descendants[child]
+        descendants[vertex] = mask
+
+    hangs: List[Optional[List[int]]] = []
+    for block in blocks:
+        if block == target:
+            hangs.append(None)
+            continue
+        rest_bits = block & (block - 1)
+        if rest_bits & (rest_bits - 1) == 0:
+            # Bridge (2-vertex block) fast path: its single edge is a DFS
+            # tree edge, the child endpoint's hang is its whole subtree and
+            # the parent endpoint's hang is everything else.
+            low_vertex = (block & -block).bit_length() - 1
+            high_vertex = rest_bits.bit_length() - 1
+            if parent_of[high_vertex] == low_vertex:
+                deep_subtree = descendants[high_vertex]
+                weights = [target & ~deep_subtree & ~(1 << low_vertex),
+                           deep_subtree & ~(1 << high_vertex)]
+            else:
+                deep_subtree = descendants[low_vertex]
+                weights = [deep_subtree & ~(1 << low_vertex),
+                           target & ~deep_subtree & ~(1 << high_vertex)]
+            hangs.append(weights)
+            continue
+        top = -1
+        top_discovery = counter
+        weights = []
+        for vertex in bms.iter_bits(block):
+            if discovery[vertex] < top_discovery:
+                top_discovery = discovery[vertex]
+                top = vertex
+            hang = 0
+            for child in children[vertex]:
+                # A child subtree containing no block vertex is one whole
+                # hang-off component of this vertex (a subtree touching the
+                # block would be biconnected into it).
+                if not (block >> child) & 1:
+                    hang |= descendants[child]
+            weights.append(hang)
+        # Everything outside top's subtree attaches through top.
+        above = target & ~descendants[top]
+        if above:
+            for index, vertex in enumerate(bms.iter_bits(block)):
+                if vertex == top:
+                    weights[index] |= above
+                    break
+        hangs.append(weights)
+    return blocks, hangs
+
+
+class _ArenaSnapshot:
+    """Sorted array view of the arena: the filter/evaluate stages' input.
+
+    ``masks`` is the sorted key column; ``costs``/``rows`` are aligned with
+    it, and ``neighbours`` holds each subset's adjacent-vertex bitmap — the
+    precomputed connectivity arrays the CCP mask-filter stage runs against.
+    Built once per DP level (the arena only grows between levels).
+    """
+
+    def __init__(self, arena: PlanArena, graph) -> None:
+        keys, costs, rows = arena.columns()
+        masks = np.fromiter(keys, dtype=np.int64, count=len(keys))
+        order = np.argsort(masks)
+        self.masks = masks[order]
+        self.costs = np.fromiter(costs, dtype=np.float64, count=len(costs))[order]
+        self.rows = np.fromiter(rows, dtype=np.float64, count=len(rows))[order]
+        neighbours = np.zeros_like(self.masks)
+        for vertex in range(graph.n_relations):
+            adjacency = np.int64(graph._adjacency[vertex])
+            member = (self.masks >> np.int64(vertex)) & 1
+            np.bitwise_or(neighbours, np.where(member.astype(bool), adjacency, 0),
+                          out=neighbours)
+        self.neighbours = neighbours & ~self.masks
+
+    def lookup(self, queries: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-query ``(clipped index, found)`` membership via searchsorted."""
+        index = np.searchsorted(self.masks, queries)
+        index = np.minimum(index, len(self.masks) - 1)
+        return index, self.masks[index] == queries
+
+
+def _scatter_winners(n_targets: int, tid: np.ndarray, cost: np.ndarray,
+                     seq: np.ndarray, left: np.ndarray, right: np.ndarray):
+    """First-cheapest-wins reduction per target id.
+
+    Returns ``(best_cost, winner_left, winner_right)`` arrays of length
+    ``n_targets``.  The winner of a target is the candidate with minimal
+    cost and, among exact float ties, minimal sequence number — the pair the
+    scalar backend's strict ``<`` memo update would have kept.
+    """
+    best = np.full(n_targets, np.inf)
+    np.minimum.at(best, tid, cost)
+    if not np.all(np.isfinite(best)):
+        raise RuntimeError(
+            "vectorized kernel produced no valid CCP pair for a connected "
+            "set; this indicates a filter-stage bug")
+    tie = cost == best[tid]
+    best_seq = np.full(n_targets, _SEQ_MAX, dtype=np.int64)
+    np.minimum.at(best_seq, tid[tie], seq[tie])
+    winner = tie & (seq == best_seq[tid])
+    winner_left = np.empty(n_targets, dtype=np.int64)
+    winner_right = np.empty(n_targets, dtype=np.int64)
+    winner_left[tid[winner]] = left[winner]
+    winner_right[tid[winner]] = right[winner]
+    return best, winner_left, winner_right
+
+
+class _RunningWinners:
+    """Incremental first-cheapest-wins state across candidate batches.
+
+    Lexicographic ``(cost, seq)`` minimisation is associative, so a level
+    whose candidates arrive in many batches (MPDP's block-size groups and
+    chunks) can reduce each batch immediately and merge it into running
+    per-target winners — transient memory stays bounded by the chunk size
+    instead of the level's total valid-pair count.
+    """
+
+    def __init__(self, n_targets: int) -> None:
+        self.n_targets = n_targets
+        self.cost = np.full(n_targets, np.inf)
+        self.seq = np.full(n_targets, _SEQ_MAX, dtype=np.int64)
+        # Never read until a merge marks the target improved.
+        self.left = np.zeros(n_targets, dtype=np.int64)
+        self.right = np.zeros(n_targets, dtype=np.int64)
+
+    def merge(self, tid: np.ndarray, cost: np.ndarray, seq: np.ndarray,
+              left: np.ndarray, right: np.ndarray) -> None:
+        """Fold one candidate batch into the running winners."""
+        if len(tid) == 0:
+            return
+        batch_cost = np.full(self.n_targets, np.inf)
+        np.minimum.at(batch_cost, tid, cost)
+        tie = cost == batch_cost[tid]
+        batch_seq = np.full(self.n_targets, _SEQ_MAX, dtype=np.int64)
+        np.minimum.at(batch_seq, tid[tie], seq[tie])
+        winner = tie & (seq == batch_seq[tid])
+        batch_left = np.zeros(self.n_targets, dtype=np.int64)
+        batch_right = np.zeros(self.n_targets, dtype=np.int64)
+        batch_left[tid[winner]] = left[winner]
+        batch_right[tid[winner]] = right[winner]
+        better = (batch_cost < self.cost) | (
+            (batch_cost == self.cost) & (batch_seq < self.seq))
+        self.cost = np.where(better, batch_cost, self.cost)
+        self.seq = np.where(better, batch_seq, self.seq)
+        self.left = np.where(better, batch_left, self.left)
+        self.right = np.where(better, batch_right, self.right)
+
+    def finalize(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        if not np.all(np.isfinite(self.cost)):
+            raise RuntimeError(
+                "vectorized kernel produced no valid CCP pair for a "
+                "connected set; this indicates a filter-stage bug")
+        return self.cost, self.left, self.right
+
+
+@dataclass
+class _TreeInfo:
+    """Rooted-tree arrays for one scope: the tree unrank stage's input.
+
+    Rooting the scope's induced tree once turns every edge split into two
+    bitmap ANDs: the component on the child side of edge ``e`` within a
+    target ``S`` is ``S & desc[child(e)]`` (the intersection of a connected
+    subtree with a rooted split is exactly the detached component).
+    """
+
+    edge_masks: np.ndarray     #: (E,) endpoint bitmaps, graph edge order
+    child_desc: np.ndarray     #: (E,) descendant bitmap of the child endpoint
+    left_is_child: np.ndarray  #: (E,) True when ``edge.left`` is the child
+
+
+class VectorizedBackend(KernelBackend):
+    """Batched numpy execution of the level-parallel DP kernels."""
+
+    name = "vectorized"
+
+    def __init__(self) -> None:
+        self._scalar = ScalarBackend()
+        self._tree_cache: Dict[int, _TreeInfo] = {}
+
+    def create_table(self, query: QueryInfo) -> PlanArena:
+        return PlanArena(query)
+
+    @staticmethod
+    def _arena(state: KernelState) -> PlanArena:
+        if not isinstance(state.memo, PlanArena):
+            raise TypeError(
+                "the vectorized backend requires a PlanArena DP table; "
+                "create it via VectorizedBackend.create_table")
+        return state.memo
+
+    # ------------------------------------------------------------------ #
+    # DPsub: powerset splits of each target
+    # ------------------------------------------------------------------ #
+    def run_subset_level(self, state: KernelState, level: int,
+                         targets: Sequence[int]) -> None:
+        if not targets:
+            return
+        arena = self._arena(state)
+        if level > _MAX_DENSE_BITS:
+            self._scalar.run_subset_level(state, level, targets)
+            return
+        query, stats = state.query, state.stats
+        model = query.cost_model
+        snapshot = _ArenaSnapshot(arena, query.graph)
+        n_bits = query.graph.n_relations
+        n_splits = (1 << level) - 2
+        dense = _dense_matrix(level)
+        target_arr = np.fromiter(targets, dtype=np.int64, count=len(targets))
+        out_rows = np.asarray(query.rows_batch(target_arr), dtype=np.float64)
+        total_ccp = 0
+        chunk = max(1, _CHUNK_ELEMENTS // n_splits)
+        for start in range(0, len(target_arr), chunk):
+            tc = target_arr[start:start + chunk]
+            oc = out_rows[start:start + chunk]
+            weights = np.int64(1) << _bit_positions(tc, level, n_bits)
+            lefts = dense @ weights.T                  # (n_splits, c) unrank
+            rights = tc[None, :] ^ lefts
+            left_idx, left_ok = snapshot.lookup(lefts)     # filter: connected
+            right_idx, right_ok = snapshot.lookup(rights)
+            valid = left_ok & right_ok
+            valid &= (snapshot.neighbours[left_idx] & rights) != 0
+            vrow, vcol = np.nonzero(valid)
+            total_ccp += len(vrow)
+            cost = np.full(lefts.shape, np.inf)
+            li = left_idx[vrow, vcol]
+            ri = right_idx[vrow, vcol]
+            cost[vrow, vcol] = model.cost_batch(           # evaluate
+                snapshot.rows[li], snapshot.costs[li],
+                snapshot.rows[ri], snapshot.costs[ri], oc[vcol])
+            # scatter-min: argmin returns the first (lowest dense rank)
+            # minimal row, matching the scalar first-cheapest-wins order.
+            win = np.argmin(cost, axis=0)
+            cols = np.arange(len(tc))
+            best = cost[win, cols]
+            if not np.all(np.isfinite(best)):
+                raise RuntimeError(
+                    "vectorized kernel produced no valid CCP pair for a "
+                    "connected set; this indicates a filter-stage bug")
+            arena.record_level(tc, best, oc, lefts[win, cols], rights[win, cols])
+        stats.record_pairs(level, len(target_arr) * n_splits, total_ccp)
+
+    # ------------------------------------------------------------------ #
+    # MPDP: block-restricted splits plus the grow-lift
+    # ------------------------------------------------------------------ #
+    def run_block_level(self, state: KernelState, level: int,
+                        targets: Sequence[int]) -> None:
+        if not targets:
+            return
+        arena = self._arena(state)
+        query, context, stats = state.query, state.context, state.stats
+        model = query.cost_model
+        snapshot = _ArenaSnapshot(arena, query.graph)
+        n_bits = query.graph.n_relations
+        target_arr = np.fromiter(targets, dtype=np.int64, count=len(targets))
+        out_rows = np.asarray(query.rows_batch(target_arr), dtype=np.float64)
+        n_targets = len(targets)
+
+        # Group the (target, block) work items by block size so every group
+        # shares one dense split matrix; per-item sequence bases preserve the
+        # scalar emission order (target-major, block order, dense rank).
+        #
+        # The grow-lift is precomputed here as per-block-vertex *hang-off*
+        # masks: every connected component of ``S \\ block`` attaches to
+        # exactly one block vertex (a component adjacent to two would extend
+        # the biconnected block), so ``grow(lb, S \\ rb)`` equals ``lb``
+        # plus the hang-offs of lb's vertices — and because hang-offs are
+        # disjoint bitmaps, the lift folds into the same dense matrix
+        # multiply that unranks the splits.  One DFS per target replaces one
+        # scalar BFS grow per valid pair.
+        groups: Dict[int, List[Tuple[int, int, int, Optional[List[int]]]]] = {}
+        total_pairs = 0
+        graph = query.graph
+        for tid, target in enumerate(targets):
+            seq_base = 0
+            blocks, hangs = _blocks_and_hangs(graph, target)
+            for block, hang_weights in zip(blocks, hangs):
+                size = bms.popcount(block)
+                groups.setdefault(size, []).append(
+                    (tid, block, seq_base, hang_weights))
+                seq_base += (1 << size) - 2
+            total_pairs += seq_base
+
+        # Candidate batches (one per group chunk) fold into running winners
+        # immediately, so transient memory is bounded by the chunk size, not
+        # by the level's total valid-pair count (dense topologies validate
+        # every split).
+        winners = _RunningWinners(n_targets)
+        total_ccp = 0
+
+        for size in sorted(groups):
+            entries = groups[size]
+            if size > _MAX_DENSE_BITS:
+                total_ccp += self._scalar_block_entries(
+                    state, target_arr, out_rows, entries, winners)
+                continue
+            n_splits = (1 << size) - 2
+            dense = _dense_matrix(size)
+            tid_all = np.fromiter((e[0] for e in entries), np.int64, len(entries))
+            blk_all = np.fromiter((e[1] for e in entries), np.int64, len(entries))
+            seq_all = np.fromiter((e[2] for e in entries), np.int64, len(entries))
+            hang_all = np.zeros((len(entries), size), dtype=np.int64)
+            any_hang = False
+            for row, entry in enumerate(entries):
+                if entry[3] is not None:
+                    hang_all[row] = entry[3]
+                    any_hang = True
+            chunk = max(1, _CHUNK_ELEMENTS // n_splits)
+            for start in range(0, len(entries), chunk):
+                tidc = tid_all[start:start + chunk]
+                blkc = blk_all[start:start + chunk]
+                seqc = seq_all[start:start + chunk]
+                weights = np.int64(1) << _bit_positions(blkc, size, n_bits)
+                left_blocks = dense @ weights.T
+                right_blocks = blkc[None, :] ^ left_blocks
+                lb_idx, lb_ok = snapshot.lookup(left_blocks)
+                rb_idx, rb_ok = snapshot.lookup(right_blocks)
+                valid = lb_ok & rb_ok
+                valid &= (snapshot.neighbours[lb_idx] & right_blocks) != 0
+                vrow, vcol = np.nonzero(valid)
+                if len(vrow) == 0:
+                    continue
+                total_ccp += len(vrow)
+                tids = tidc[vcol]
+                target_of = target_arr[tids]
+                lb = left_blocks[vrow, vcol]
+                # Grow-lift (Algorithm 3, lines 17-18) as one more matrix
+                # multiply: a split's lifted left side is its block vertices
+                # plus their (disjoint) hang-off components.
+                if any_hang:
+                    lifted = lb + (dense @ hang_all[start:start + chunk].T)[vrow, vcol]
+                else:
+                    lifted = lb
+                left = lifted
+                right = target_of & ~left
+                li, li_ok = snapshot.lookup(left)
+                ri, ri_ok = snapshot.lookup(right)
+                if not (np.all(li_ok) and np.all(ri_ok)):
+                    raise RuntimeError(
+                        "grow-lift produced an operand missing from the "
+                        "arena; CCP lift invariant violated")
+                winners.merge(
+                    tids,
+                    model.cost_batch(
+                        snapshot.rows[li], snapshot.costs[li],
+                        snapshot.rows[ri], snapshot.costs[ri], out_rows[tids]),
+                    seqc[vcol] + vrow, left, right)
+
+        stats.record_pairs(level, total_pairs, total_ccp)
+        best, winner_left, winner_right = winners.finalize()
+        arena.record_level(target_arr, best, out_rows, winner_left, winner_right)
+
+    def _scalar_block_entries(self, state: KernelState, target_arr, out_rows,
+                              entries, winners: "_RunningWinners") -> int:
+        """Scalar fallback for blocks too wide for the dense split matrix.
+
+        Folds its candidates into the same running winners the array path
+        merges into, so the final selection treats both uniformly.
+        """
+        context = state.context
+        arena = self._arena(state)
+        model = state.query.cost_model
+        ccp = 0
+        tids: List[int] = []
+        costs: List[float] = []
+        seqs: List[int] = []
+        lefts: List[int] = []
+        rights: List[int] = []
+        for tid, block, seq_base, _hang in entries:
+            target = int(target_arr[tid])
+            for rank, left_block in enumerate(bms.iter_proper_nonempty_subsets(block)):
+                right_block = block & ~left_block
+                if not context.is_connected(left_block):
+                    continue
+                if not context.is_connected(right_block):
+                    continue
+                if not context.is_connected_to(left_block, right_block):
+                    continue
+                ccp += 1
+                rest = target & ~right_block
+                left = rest if rest == left_block else context.grow(left_block, rest)
+                right = target & ~left
+                tids.append(tid)
+                costs.append(model.join_cost_from_stats(
+                    arena.rows_of(left), arena.cost_of(left),
+                    arena.rows_of(right), arena.cost_of(right),
+                    float(out_rows[tid])))
+                seqs.append(seq_base + rank)
+                lefts.append(left)
+                rights.append(right)
+        if tids:
+            winners.merge(np.array(tids, dtype=np.int64),
+                          np.array(costs, dtype=np.float64),
+                          np.array(seqs, dtype=np.int64),
+                          np.array(lefts, dtype=np.int64),
+                          np.array(rights, dtype=np.int64))
+        return ccp
+
+    # ------------------------------------------------------------------ #
+    # MPDP:Tree: per-edge subtree splits
+    # ------------------------------------------------------------------ #
+    def _tree_info(self, state: KernelState) -> _TreeInfo:
+        info = self._tree_cache.get(state.scope)
+        if info is not None:
+            return info
+        graph = state.query.graph
+        scope = state.scope
+        edges = graph.edges_within(scope)
+        adjacency = graph._adjacency
+        root = bms.lowest_bit_index(scope)
+        parent: Dict[int, int] = {root: root}
+        order: List[int] = [root]
+        frontier = [root]
+        while frontier:
+            next_frontier: List[int] = []
+            for vertex in frontier:
+                for child in bms.iter_bits(adjacency[vertex] & scope):
+                    if child not in parent:
+                        parent[child] = vertex
+                        order.append(child)
+                        next_frontier.append(child)
+            frontier = next_frontier
+        descendants: Dict[int, int] = {}
+        for vertex in reversed(order):
+            mask = bms.bit(vertex)
+            for child in bms.iter_bits(adjacency[vertex] & scope):
+                if parent.get(child) == vertex and child != vertex:
+                    mask |= descendants[child]
+            descendants[vertex] = mask
+        edge_masks = np.empty(len(edges), dtype=np.int64)
+        child_desc = np.empty(len(edges), dtype=np.int64)
+        left_is_child = np.empty(len(edges), dtype=bool)
+        for index, edge in enumerate(edges):
+            edge_masks[index] = edge.mask
+            if parent.get(edge.left) == edge.right:
+                child = edge.left
+                left_is_child[index] = True
+            else:
+                child = edge.right
+                left_is_child[index] = False
+            child_desc[index] = descendants[child]
+        info = _TreeInfo(edge_masks=edge_masks, child_desc=child_desc,
+                         left_is_child=left_is_child)
+        self._tree_cache[state.scope] = info
+        return info
+
+    def run_tree_level(self, state: KernelState, level: int,
+                       targets: Sequence[int]) -> None:
+        if not targets:
+            return
+        arena = self._arena(state)
+        query, stats = state.query, state.stats
+        model = query.cost_model
+        snapshot = _ArenaSnapshot(arena, query.graph)
+        info = self._tree_info(state)
+        n_edges = max(1, len(info.edge_masks))
+        target_arr = np.fromiter(targets, dtype=np.int64, count=len(targets))
+        out_rows = np.asarray(query.rows_batch(target_arr), dtype=np.float64)
+        total_pairs = 0
+        chunk = max(1, _CHUNK_ELEMENTS // (2 * n_edges))
+        for start in range(0, len(target_arr), chunk):
+            tc = target_arr[start:start + chunk]
+            oc = out_rows[start:start + chunk]
+            within = (tc[:, None] & info.edge_masks[None, :]) == info.edge_masks
+            trow, tcol = np.nonzero(within)
+            total_pairs += 2 * len(trow)
+            target_of = tc[trow]
+            desc = info.child_desc[tcol]
+            # The split of a subtree by one edge: the child-side component is
+            # S & desc[child]; scalar grow() computes exactly this set.
+            left_first = np.where(info.left_is_child[tcol],
+                                  target_of & desc, target_of & ~desc)
+            right_first = target_of ^ left_first
+            li, _ = snapshot.lookup(left_first)
+            ri, _ = snapshot.lookup(right_first)
+            out = oc[trow]
+            cost_forward = model.cost_batch(
+                snapshot.rows[li], snapshot.costs[li],
+                snapshot.rows[ri], snapshot.costs[ri], out)
+            cost_swapped = model.cost_batch(
+                snapshot.rows[ri], snapshot.costs[ri],
+                snapshot.rows[li], snapshot.costs[li], out)
+            tid = np.concatenate([trow, trow])
+            cost = np.concatenate([cost_forward, cost_swapped])
+            # Scalar emission interleaves orientations per edge: (L,R) at
+            # 2*edge, (R,L) at 2*edge + 1 (edge indices are scope-global but
+            # order-isomorphic to the per-target edges_within order).
+            seq = np.concatenate([2 * tcol, 2 * tcol + 1])
+            left = np.concatenate([left_first, right_first])
+            right = np.concatenate([right_first, left_first])
+            best, winner_left, winner_right = _scatter_winners(
+                len(tc), tid, cost, seq, left, right)
+            arena.record_level(tc, best, oc, winner_left, winner_right)
+        stats.record_pairs(level, total_pairs, total_pairs)
+
+    # ------------------------------------------------------------------ #
+    # DPsize: cross products of memoised plan sizes
+    # ------------------------------------------------------------------ #
+    def run_size_level(self, state: KernelState, level: int) -> None:
+        arena = self._arena(state)
+        query, stats = state.query, state.stats
+        model = query.cost_model
+        snapshot = _ArenaSnapshot(arena, query.graph)
+        parts: List[Tuple[np.ndarray, ...]] = []
+        total_pairs = 0
+        total_ccp = 0
+        seq_base = 0
+        for left_size in range(1, level):
+            right_size = level - left_size
+            left_keys = arena.keys_of_size(left_size)
+            right_keys = arena.keys_of_size(right_size)
+            count = len(left_keys) * len(right_keys)
+            if count == 0:
+                continue
+            total_pairs += count
+            left_arr = np.fromiter(left_keys, np.int64, len(left_keys))
+            right_arr = np.fromiter(right_keys, np.int64, len(right_keys))
+            li_all, _ = snapshot.lookup(left_arr)
+            ri_all, _ = snapshot.lookup(right_arr)
+            neighbours = snapshot.neighbours[li_all]
+            chunk = max(1, _CHUNK_ELEMENTS // len(right_keys))
+            for start in range(0, len(left_keys), chunk):
+                lc = left_arr[start:start + chunk]
+                nc = neighbours[start:start + chunk]
+                lic = li_all[start:start + chunk]
+                valid = ((lc[:, None] & right_arr[None, :]) == 0)
+                valid &= (nc[:, None] & right_arr[None, :]) != 0
+                vrow, vcol = np.nonzero(valid)
+                if len(vrow) == 0:
+                    continue
+                total_ccp += len(vrow)
+                left = lc[vrow]
+                right = right_arr[vcol]
+                combined = left | right
+                out = np.asarray(query.rows_batch(combined), dtype=np.float64)
+                cost = model.cost_batch(
+                    snapshot.rows[lic[vrow]], snapshot.costs[lic[vrow]],
+                    snapshot.rows[ri_all[vcol]], snapshot.costs[ri_all[vcol]],
+                    out)
+                seq = seq_base + (start + vrow) * len(right_keys) + vcol
+                parts.append((combined, cost, seq, left, right, out))
+            seq_base += count
+        stats.record_pairs(level, total_pairs, total_ccp)
+        if not parts:
+            return
+        combined = np.concatenate([p[0] for p in parts])
+        cost = np.concatenate([p[1] for p in parts])
+        seq = np.concatenate([p[2] for p in parts])
+        left = np.concatenate([p[3] for p in parts])
+        right = np.concatenate([p[4] for p in parts])
+        out = np.concatenate([p[5] for p in parts])
+        unique, inverse = np.unique(combined, return_inverse=True)
+        n_new = len(unique)
+        # Every valid target of this level is first planned here, exactly
+        # once; record it like the scalar path's first-discovery record_set.
+        stats.record_sets(level, n_new)
+        first_seq = np.full(n_new, _SEQ_MAX, dtype=np.int64)
+        np.minimum.at(first_seq, inverse, seq)
+        best, winner_left, winner_right = _scatter_winners(
+            n_new, inverse, cost, seq, left, right)
+        # Rows are a function of the target set alone (one memoized estimate
+        # per mask), so every candidate of a target carries the same value.
+        winner_rows = np.empty(n_new, dtype=np.float64)
+        winner_rows[inverse] = out
+        # Insertion order = order of each target's first valid pair, which is
+        # how the scalar memo first saw them.
+        insertion = np.argsort(first_seq)
+        arena.record_level(unique[insertion], best[insertion],
+                           winner_rows[insertion], winner_left[insertion],
+                           winner_right[insertion])

@@ -12,8 +12,8 @@ throughput, plus per-kernel launch overheads and per-level PCIe transfers:
 ========  =====================================================================
 Phase     Lane-cycles charged
 ========  =====================================================================
-unrank    ``C(n, level)`` combinations x ``UNRANK_CYCLES``
-filter    ``C(n, level)`` connectivity checks x ``FILTER_CYCLES_PER_RELATION * level``
+unrank    per-level candidate batch x ``UNRANK_CYCLES``
+filter    per-level candidate batch x ``FILTER_CYCLES_PER_RELATION * level``
 evaluate  every enumerated pair pays ``CHECK_CYCLES``; valid pairs additionally
           pay the cost function (``COST_CYCLES``).  Without Collaborative
           Context Collection a warp in which *any* lane found a valid pair
@@ -27,6 +27,14 @@ prune     with kernel fusion the per-set winner is reduced in shared memory
 scatter   one global write (times the measured average hash-probe length) per
           memo entry produced at the level.
 ========  =====================================================================
+
+The unrank/filter phases are charged on the *real* per-level candidate batch
+sizes the kernel pipeline produced, recorded by the optimizers in
+``OptimizerStats.level_considered``: the GPU-literal unrank mode (``DPSub``
+with ``unrank_filter=True``) records all ``C(n, level)`` unranked
+combinations, while direct enumeration records the connected sets the
+realized kernels actually batched.  Legacy stats without the per-level
+record fall back to the old ``C(n, level)`` derivation.
 
 MPDP additionally pays a per-set ``Find-Blocks`` charge in the evaluate phase;
 DPsize has no unrank/filter phases because it enumerates pairs of memoised
@@ -106,8 +114,12 @@ class GPUPipelineModel:
     Attributes:
         device: the simulated GPU.
         uses_subset_unranking: True for subset-driven algorithms (DPsub, MPDP)
-            that unrank and filter all ``C(n, level)`` combinations per level;
-            False for DPsize, which enumerates pairs of memoised plans.
+            whose pipeline has unrank and filter phases; the per-level batch
+            charged is the candidate count the run recorded
+            (``level_considered`` — all ``C(n, level)`` combinations in the
+            GPU-literal unrank mode, the connected sets under direct
+            enumeration).  False for DPsize, which enumerates pairs of
+            memoised plans.
         uses_block_decomposition: True for MPDP (charges Find-Blocks per set).
         kernel_fusion: paper enhancement 1 — prune inside the evaluate kernel
             in shared memory instead of a separate kernel over global memory.
@@ -138,7 +150,11 @@ class GPUPipelineModel:
 
             # ---------------- unrank + filter ---------------------------- #
             if self.uses_subset_unranking:
-                combinations = comb(n_relations, level)
+                # Prefer the batch size the kernel pipeline actually
+                # produced for this level; re-derive C(n, level) only for
+                # stats recorded before per-level batches were tracked.
+                combinations = stats.level_considered.get(
+                    level, comb(n_relations, level))
                 unrank_time = device.kernel_time(combinations, UNRANK_CYCLES)
                 filter_time = device.kernel_time(
                     combinations, FILTER_CYCLES_PER_RELATION * level)

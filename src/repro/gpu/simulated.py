@@ -62,6 +62,9 @@ class GPUSimulatedOptimizer(JoinOrderOptimizer):
         self.exact = inner.exact
         self.supported_shapes = inner.supported_shapes
         self.max_relations = inner.max_relations
+        #: The wrapper executes whatever kernel backends the inner optimizer
+        #: supports (the simulation layer itself is backend-agnostic).
+        self.supported_backends = getattr(inner, "supported_backends", ("scalar",))
 
     def _pipeline_model(self) -> GPUPipelineModel:
         return GPUPipelineModel(
@@ -71,6 +74,10 @@ class GPUSimulatedOptimizer(JoinOrderOptimizer):
             kernel_fusion=self.kernel_fusion,
             collaborative_context_collection=self.collaborative_context_collection,
         )
+
+    def _make_memo(self, query: QueryInfo, subset: int) -> MemoTable:
+        """Delegate DP-table choice to the inner optimizer's kernel backend."""
+        return self.inner._make_memo(query, subset)
 
     def _run(self, query: QueryInfo, subset: int,
              memo: MemoTable, stats: OptimizerStats) -> Plan:
@@ -117,8 +124,10 @@ class MPDPGpu(GPUSimulatedOptimizer):
     """MPDP executed under the GPU model (the paper's ``MPDP (GPU)``)."""
 
     def __init__(self, device: GPUDeviceSpec = GTX_1080, kernel_fusion: bool = True,
-                 collaborative_context_collection: bool = True):
-        super().__init__(MPDP(), device=device, kernel_fusion=kernel_fusion,
+                 collaborative_context_collection: bool = True,
+                 backend: str = "scalar"):
+        super().__init__(MPDP(backend=backend), device=device,
+                         kernel_fusion=kernel_fusion,
                          collaborative_context_collection=collaborative_context_collection,
                          name="MPDP (GPU)")
 
@@ -126,16 +135,21 @@ class MPDPGpu(GPUSimulatedOptimizer):
 class DPSubGpu(GPUSimulatedOptimizer):
     """DPsub under the GPU model (Meister & Saake's COMB-GPU baseline)."""
 
-    def __init__(self, device: GPUDeviceSpec = GTX_1080):
+    def __init__(self, device: GPUDeviceSpec = GTX_1080, backend: str = "scalar"):
         # The baseline from prior work uses a separate prune kernel and plain
-        # 'if'-based filtering, i.e. neither of the paper's two enhancements.
-        super().__init__(DPSub(), device=device, kernel_fusion=False,
+        # 'if'-based filtering, i.e. neither of the paper's two enhancements —
+        # and it unranks every C(n, level) combination per level, so the
+        # inner DPsub runs the GPU-literal unrank+filter mode: its recorded
+        # per-level candidate batches (``stats.level_considered``) are the
+        # full combination counts the pipeline model charges.
+        super().__init__(DPSub(unrank_filter=True, backend=backend), device=device,
+                         kernel_fusion=False,
                          collaborative_context_collection=False, name="DPsub (GPU)")
 
 
 class DPSizeGpu(GPUSimulatedOptimizer):
     """DPsize under the GPU model (Meister & Saake's H+F-GPU baseline)."""
 
-    def __init__(self, device: GPUDeviceSpec = GTX_1080):
-        super().__init__(DPSize(), device=device, kernel_fusion=False,
+    def __init__(self, device: GPUDeviceSpec = GTX_1080, backend: str = "scalar"):
+        super().__init__(DPSize(backend=backend), device=device, kernel_fusion=False,
                          collaborative_context_collection=False, name="DPsize (GPU)")

@@ -65,6 +65,10 @@ class OptimizerCapabilities:
         max_relations: practical upper bound on the number of relations the
             algorithm can optimize within an interactive time budget (the
             sizes the paper's Section 7 runs it up to); ``None`` = unbounded.
+        backends: kernel execution backends (see :mod:`repro.exec`) the
+            algorithm can run its DP levels on.  Every optimizer supports
+            ``"scalar"``; the level-parallel algorithms rewired onto the
+            kernel-stage pipeline additionally support ``"vectorized"``.
     """
 
     name: str
@@ -73,6 +77,7 @@ class OptimizerCapabilities:
     execution_style: str = "level_parallel"
     supported_shapes: Optional[FrozenSet[str]] = None
     max_relations: Optional[int] = None
+    backends: FrozenSet[str] = frozenset({"scalar"})
 
     def supports_shape(self, shape: str) -> bool:
         """True when the algorithm accepts join graphs of ``shape``.
@@ -86,6 +91,16 @@ class OptimizerCapabilities:
     def supports_size(self, n_relations: int) -> bool:
         """True when ``n_relations`` is within the practical size ceiling."""
         return self.max_relations is None or n_relations <= self.max_relations
+
+    def supports_backend(self, backend: str) -> bool:
+        """True when the algorithm can execute on the named kernel backend.
+
+        ``"auto"`` is accepted whenever more than one backend is available
+        (it is a selection policy, not a backend).
+        """
+        if backend == "auto":
+            return len(self.backends) > 1
+        return backend in self.backends
 
 
 @dataclass
@@ -119,6 +134,9 @@ class JoinOrderOptimizer(ABC):
     supported_shapes: Optional[FrozenSet[str]] = None
     #: Practical ceiling on relations per query (``None`` = unbounded).
     max_relations: Optional[int] = None
+    #: Kernel execution backends the algorithm can run on (see
+    #: :mod:`repro.exec`); the kernel-pipeline optimizers override this.
+    supported_backends: tuple = ("scalar",)
 
     def describe(self) -> OptimizerCapabilities:
         """This optimizer's declarative capability metadata."""
@@ -130,6 +148,7 @@ class JoinOrderOptimizer(ABC):
             execution_style=self.execution_style,
             supported_shapes=frozenset(shapes) if shapes is not None else None,
             max_relations=self.max_relations,
+            backends=frozenset(self.supported_backends),
         )
 
     # ------------------------------------------------------------------ #
@@ -163,7 +182,7 @@ class JoinOrderOptimizer(ABC):
             )
 
         stats = OptimizerStats(algorithm=self.name)
-        memo = MemoTable()
+        memo = self._make_memo(query, subset)
         self._init_leaves(query, subset, memo, stats)
         with Stopwatch() as watch:
             plan = self._run(query, subset, memo, stats)
@@ -173,6 +192,16 @@ class JoinOrderOptimizer(ABC):
         stats.memo_entries = len(memo)
         stats.plan_cost = plan.cost
         return PlanResult(plan=plan, cost=plan.cost, stats=stats, memo=memo)
+
+    def _make_memo(self, query: QueryInfo, subset: int) -> MemoTable:
+        """The DP table for one run.
+
+        Kernel-pipeline optimizers (via
+        :class:`~repro.exec.backend.KernelOptimizerMixin`) override this to
+        let the resolved backend choose between a :class:`MemoTable` and a
+        :class:`~repro.core.arena.PlanArena`; both expose the same surface.
+        """
+        return MemoTable()
 
     def _init_leaves(self, query: QueryInfo, subset: int,
                      memo: MemoTable, stats: OptimizerStats) -> None:

@@ -9,7 +9,11 @@ Its weakness, highlighted throughout the paper, is that most of the evaluated
 pairs are invalid: the two operands frequently overlap or are not connected by
 a join predicate, so the EvaluatedCounter is orders of magnitude larger than
 the CCP-Counter (Figure 2).  On the plus side the evaluation of every pair at
-one size is independent, which is what PDP and DPsize-GPU parallelize.
+one size is independent, which is what PDP and DPsize-GPU parallelize — and
+what the kernel backends (:mod:`repro.exec`) exploit here: each size level is
+emitted as one batch, executed either as the historical scalar loop or as a
+vectorized cross-product grid with mask filters and one ``cost_batch`` call
+(``backend="scalar" | "vectorized" | "auto"``; bit-identical results).
 """
 
 from __future__ import annotations
@@ -20,12 +24,13 @@ from ..core.enumeration import EnumerationContext
 from ..core.memo import MemoTable
 from ..core.plan import Plan
 from ..core.query import QueryInfo
+from ..exec import KernelOptimizerMixin, KernelState
 from .base import JoinOrderOptimizer
 
 __all__ = ["DPSize"]
 
 
-class DPSize(JoinOrderOptimizer):
+class DPSize(KernelOptimizerMixin, JoinOrderOptimizer):
     """Size-driven DP over cross-product-free join pairs."""
 
     name = "DPsize"
@@ -34,40 +39,26 @@ class DPSize(JoinOrderOptimizer):
     execution_style = "level_parallel"
     max_relations = 14
 
+    def __init__(self, backend: str = "scalar"):
+        self._init_backend(backend)
+
     def _run(self, query: QueryInfo, subset: int,
              memo: MemoTable, stats: OptimizerStats) -> Plan:
-        # Memoized neighbour bitmaps: each ``left`` operand is paired against
-        # every ``right`` of the complementary size, so its neighbourhood is
-        # looked up many times per level but computed once per distinct mask.
+        # The backend's per-level kernels look operand neighbourhoods up
+        # through memoized bitmaps (the context's caches or the arena
+        # snapshot's neighbour column), computed once per distinct mask.
         context = EnumerationContext.of(query.graph)
+        backend = self._resolve_backend(query, subset)
+        state = KernelState(query=query, context=context, memo=memo,
+                            stats=stats, scope=subset)
         n = bms.popcount(subset)
 
-        # Level iteration runs over the memo's size-bucketed key index
+        # Level iteration runs over the table's size-bucketed key index
         # (O(bucket) per lookup); the leaves were seeded by ``_init_leaves``.
-        for key in memo.keys_of_size(1):
+        for _key in memo.keys_of_size(1):
             stats.record_set(1, connected=True)
 
         for size in range(2, n + 1):
-            for left_size in range(1, size):
-                right_size = size - left_size
-                left_keys = memo.keys_of_size(left_size)
-                right_keys = memo.keys_of_size(right_size)
-                for left in left_keys:
-                    for right in right_keys:
-                        stats.record_pair(size, is_ccp=False)
-                        if left & right:
-                            continue
-                        if not context.is_connected_to(left, right):
-                            continue
-                        # Valid CCP pair: both operands are connected (they are
-                        # memoised plans), disjoint and joined by an edge.
-                        stats.record_ccp(size)
-                        combined = left | right
-                        if combined not in memo:
-                            stats.record_set(size, connected=True)
-                        left_plan = memo[left]
-                        right_plan = memo[right]
-                        plan = query.join(left, right, left_plan, right_plan)
-                        memo.put(combined, plan)
+            backend.run_size_level(state, size)
 
         return memo[subset]

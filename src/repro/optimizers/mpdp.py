@@ -17,6 +17,14 @@ The number of evaluated pairs per set therefore drops from ``2^|S|`` to
 is a single edge and EvaluatedCounter equals CCP-Counter exactly (Theorem 3),
 and the same holds whenever every block is a clique (Lemma 9).
 
+Both classes *emit per-level batches*: the outer loop enumerates each level's
+connected target sets and hands them to a kernel backend
+(:mod:`repro.exec`), which executes the split / filter / evaluate /
+scatter-min stages — as the historical scalar loops
+(:class:`~repro.exec.backend.ScalarBackend`) or as batched numpy kernels
+(:class:`~repro.exec.vectorized.VectorizedBackend`).  Select with
+``backend="scalar" | "vectorized" | "auto"``; results are bit-identical.
+
 Two classes are exported:
 
 * :class:`MPDPTree` — Algorithm 2, the specialised tree-join-graph version
@@ -28,7 +36,7 @@ Two classes are exported:
 
 from __future__ import annotations
 
-from typing import Iterator, Tuple
+from typing import Iterator, Optional, Tuple
 
 from ..core import bitmapset as bms
 from ..core.counters import OptimizerStats
@@ -37,12 +45,13 @@ from ..core.memo import MemoTable
 from ..core.plan import Plan
 from ..core.query import QueryInfo
 from ..core.shapes import ACYCLIC_SHAPES
+from ..exec import KernelOptimizerMixin, KernelState, iter_tree_edge_splits
 from .base import JoinOrderOptimizer, OptimizationError
 
 __all__ = ["MPDP", "MPDPTree"]
 
 
-class MPDP(JoinOrderOptimizer):
+class MPDP(KernelOptimizerMixin, JoinOrderOptimizer):
     """The general MPDP algorithm (Algorithm 3): block-based hybrid enumeration."""
 
     name = "MPDP"
@@ -51,47 +60,29 @@ class MPDP(JoinOrderOptimizer):
     execution_style = "level_parallel"
     max_relations = 25
 
-    def _iter_sets(self, query: QueryInfo, subset: int, size: int) -> Iterator[int]:
-        return EnumerationContext.of(query.graph).iter_connected_subsets(size, within=subset)
+    def __init__(self, backend: str = "scalar"):
+        self._init_backend(backend)
+
+    def _level_targets(self, query: QueryInfo, subset: int, size: int) -> Tuple[int, ...]:
+        return EnumerationContext.of(query.graph).connected_subsets(size, within=subset)
 
     def _run(self, query: QueryInfo, subset: int,
              memo: MemoTable, stats: OptimizerStats) -> Plan:
         context = EnumerationContext.of(query.graph)
+        backend = self._resolve_backend(query, subset)
+        state = KernelState(query=query, context=context, memo=memo,
+                            stats=stats, scope=subset)
         n = bms.popcount(subset)
 
         for size in range(2, n + 1):
-            for candidate_set in self._iter_sets(query, subset, size):
-                stats.record_set(size, connected=True)
-                decomposition = context.find_blocks(candidate_set)
-                for block in decomposition.blocks:
-                    for left_block in bms.iter_proper_nonempty_subsets(block):
-                        stats.evaluated_pairs += 1
-                        stats.level_pairs[size] = stats.level_pairs.get(size, 0) + 1
-                        right_block = block & ~left_block
-                        # --- CCP block, within the block (lines 10-14) -----
-                        if not context.is_connected(left_block):
-                            continue
-                        if not context.is_connected(right_block):
-                            continue
-                        if not context.is_connected_to(left_block, right_block):
-                            continue
-                        # ----------------------------------------------------
-                        stats.record_ccp(size)
-                        # Lift the block-level pair to a CCP pair of the set
-                        # via the grow function (lines 17-18).  When the block
-                        # spans the whole candidate set (clique-like case) the
-                        # restricted set *is* the left block and grow is an
-                        # identity — skip the traversal.
-                        rest = candidate_set & ~right_block
-                        left = rest if rest == left_block else context.grow(left_block, rest)
-                        right = candidate_set & ~left
-                        plan = query.join(left, right, memo[left], memo[right])
-                        memo.put(candidate_set, plan)
+            targets = self._level_targets(query, subset, size)
+            stats.record_sets(size, len(targets))
+            backend.run_block_level(state, size, targets)
 
         return memo[subset]
 
 
-class MPDPTree(JoinOrderOptimizer):
+class MPDPTree(KernelOptimizerMixin, JoinOrderOptimizer):
     """MPDP specialised to tree join graphs (Algorithm 2).
 
     Every connected subset ``S`` of a tree induces a subtree with exactly
@@ -110,10 +101,16 @@ class MPDPTree(JoinOrderOptimizer):
     supported_shapes = ACYCLIC_SHAPES
     max_relations = 30
 
+    def __init__(self, backend: str = "scalar"):
+        self._init_backend(backend)
+
     def _run(self, query: QueryInfo, subset: int,
              memo: MemoTable, stats: OptimizerStats) -> Plan:
         graph = query.graph
         context = EnumerationContext.of(graph)
+        backend = self._resolve_backend(query, subset)
+        state = KernelState(query=query, context=context, memo=memo,
+                            stats=stats, scope=subset)
         n = bms.popcount(subset)
         n_edges_within = len(graph.edges_within(subset))
         if n_edges_within != n - 1:
@@ -123,22 +120,24 @@ class MPDPTree(JoinOrderOptimizer):
             )
 
         for size in range(2, n + 1):
-            for candidate_set in context.iter_connected_subsets(size, within=subset):
-                stats.record_set(size, connected=True)
-                for left, right in self._edge_splits(query, candidate_set):
-                    stats.record_pair(size, is_ccp=True)
-                    plan = query.join(left, right, memo[left], memo[right])
-                    memo.put(candidate_set, plan)
+            targets = context.connected_subsets(size, within=subset)
+            stats.record_sets(size, len(targets))
+            backend.run_tree_level(state, size, targets)
 
         return memo[subset]
 
     @staticmethod
-    def _edge_splits(query: QueryInfo, candidate_set: int) -> Iterator[Tuple[int, int]]:
-        """Yield both orientations of the split induced by removing each edge."""
+    def _edge_splits(query: QueryInfo, candidate_set: int,
+                     context: Optional[EnumerationContext] = None
+                     ) -> Iterator[Tuple[int, int]]:
+        """Yield both orientations of the split induced by removing each edge.
+
+        ``context`` is accepted explicitly so per-run callers resolve the
+        graph's :class:`EnumerationContext` once instead of once per
+        candidate set; it is looked up here only as a convenience for
+        one-off calls.
+        """
         graph = query.graph
-        context = EnumerationContext.of(graph)
-        for edge in graph.edges_within(candidate_set):
-            left_side = context.grow(bms.bit(edge.left), candidate_set & ~bms.bit(edge.right))
-            right_side = candidate_set & ~left_side
-            yield left_side, right_side
-            yield right_side, left_side
+        if context is None:
+            context = EnumerationContext.of(graph)
+        return iter_tree_edge_splits(context, graph, candidate_set)

@@ -169,15 +169,30 @@ class ParallelCPUModel:
         return "level_parallel"
 
 
-def speedup_curve(model: ParallelCPUModel, stats: OptimizerStats, algorithm: str,
-                  thread_counts: Iterable[int]) -> Dict[int, float]:
+def speedup_curve(model: ParallelCPUModel, stats: OptimizerStats,
+                  algorithm: Optional[str] = None,
+                  thread_counts: Iterable[int] = (), *,
+                  execution_style: Optional[str] = None) -> Dict[int, float]:
     """Speedup over the same algorithm's single-thread simulated time.
 
     This is the quantity plotted in Figure 12 (CPU scalability on
     MusicBrainz): each algorithm is normalised to itself at one thread.
+
+    Like :meth:`ParallelCPUModel.simulate`, dispatch takes either a
+    registered ``algorithm`` name or an explicit ``execution_style``; the
+    style is resolved *once* and forwarded to every curve point, so an
+    unregistered name warns (through the deprecated name-prefix fallback)
+    at most once instead of once per thread count.
     """
-    baseline = model.simulate(stats, 1, algorithm)
+    if execution_style is None:
+        if algorithm is None:
+            raise ValueError(
+                "speedup_curve() needs either an algorithm name or an "
+                "explicit execution_style")
+        execution_style = ParallelCPUModel._resolve_style(algorithm)
+    baseline = model.simulate(stats, 1, execution_style=execution_style)
     curve: Dict[int, float] = {}
     for threads in thread_counts:
-        curve[threads] = baseline / model.simulate(stats, threads, algorithm)
+        curve[threads] = baseline / model.simulate(
+            stats, threads, execution_style=execution_style)
     return curve

@@ -36,6 +36,7 @@ from ..core.counters import OptimizerStats
 from ..core.plan import Plan
 from ..core.query import QueryInfo
 from ..core.shapes import SHAPE_DISCONNECTED
+from ..exec import BACKEND_NAMES
 from ..optimizers.base import JoinOrderOptimizer, OptimizationError, PlanResult
 from .cache import PlanCache
 from .classifier import QueryClassifier, QueryProfile, structural_signature
@@ -62,6 +63,10 @@ class PlannerDecision:
     #: Join-graph shape from the classifier.
     shape: str
     n_relations: int
+    #: The planner's kernel-backend policy (``scalar``/``vectorized``/
+    #: ``auto``) handed to backend-capable rungs.  Backends never change
+    #: plans or counters, only where the optimization time goes.
+    backend: str = "scalar"
     #: The full ladder considered for this query, best rung first.
     ladder: Tuple[str, ...] = ()
     #: Rungs skipped before running because they blew the budget on an
@@ -138,6 +143,13 @@ class AdaptivePlanner:
         idp_threshold: largest query IDP2-MPDP plans.
         lindp_threshold: largest query LinDP plans; beyond this only GOO.
         idp_k: fragment size handed to IDP2's exact re-optimization step.
+        backend: kernel execution backend handed to rungs that support one
+            (the level-parallel exact algorithms): ``"scalar"`` forces the
+            reference loops, ``"vectorized"`` the batched numpy kernels,
+            and ``"auto"`` (default) lets each run pick by query size (see
+            :data:`repro.exec.AUTO_VECTORIZE_MIN_RELATIONS`).  Plans,
+            costs and counters are bit-identical across backends, so this
+            knob only moves optimization time.
     """
 
     def __init__(
@@ -152,10 +164,15 @@ class AdaptivePlanner:
         idp_threshold: int = 100,
         lindp_threshold: int = 300,
         idp_k: int = 10,
+        backend: str = "auto",
     ):
         if not (2 <= exact_threshold <= tree_threshold <= idp_threshold <= lindp_threshold):
             raise ValueError(
                 "thresholds must satisfy 2 <= exact <= tree <= idp <= lindp")
+        if backend not in BACKEND_NAMES:
+            raise ValueError(
+                f"unknown kernel backend {backend!r}; choose one of "
+                f"{', '.join(BACKEND_NAMES)}")
         self.registry = registry if registry is not None else DEFAULT_REGISTRY
         missing = [rung for rung in (_LADDER_EXACT_TREE, _LADDER_EXACT,
                                      _LADDER_IDP, _LADDER_LINDP, _LADDER_GOO)
@@ -174,9 +191,14 @@ class AdaptivePlanner:
         self.idp_threshold = idp_threshold
         self.lindp_threshold = lindp_threshold
         self.idp_k = idp_k
+        self.backend = backend
         #: Folded into every cache key: two planners may share a PlanCache,
         #: and entries must never cross routing policies (a heuristic-leaning
         #: planner's GOO plan is the wrong answer for a default planner).
+        #: The backend knob is deliberately NOT part of the tag — backends
+        #: are bit-identical by contract, so planners differing only in
+        #: backend share cache entries (the cached decision records which
+        #: backend produced the entry).
         self._policy_tag = (f"x{exact_threshold}t{tree_threshold}"
                             f"i{idp_threshold}l{lindp_threshold}k{idp_k}")
         #: rung -> smallest query size at which it blew the budget.
@@ -221,6 +243,8 @@ class AdaptivePlanner:
         return usable
 
     def _create_rung(self, rung: str) -> JoinOrderOptimizer:
+        if self.registry.capabilities(rung).supports_backend("vectorized"):
+            return self.registry.create(rung, backend=self.backend)
         if rung == _LADDER_IDP:
             return self.registry.create(rung, k=self.idp_k)
         if rung == _LADDER_LINDP:
@@ -364,6 +388,7 @@ class AdaptivePlanner:
         decision = PlannerDecision(
             algorithm=chosen,
             signature=signature,
+            backend=self.backend,
             shape=profile.shape,
             n_relations=n,
             ladder=tuple(ladder),
@@ -449,5 +474,5 @@ class AdaptivePlanner:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"AdaptivePlanner(exact<={self.exact_threshold}, "
                 f"tree<={self.tree_threshold}, idp<={self.idp_threshold}, "
-                f"lindp<={self.lindp_threshold}, "
+                f"lindp<={self.lindp_threshold}, backend={self.backend!r}, "
                 f"budget={self.time_budget_seconds}, cache={self.cache!r})")

@@ -45,26 +45,53 @@ class PlannedSQL:
         return self.outcome.cost
 
 
+def _resolve_planner(planner: Optional[AdaptivePlanner],
+                     backend: Optional[str]) -> AdaptivePlanner:
+    """The planner a front-door call will use.
+
+    ``backend`` configures a *fresh* planner's kernel execution backend; an
+    explicit ``planner`` already carries its own backend policy, so passing
+    both is rejected rather than silently ignoring one.
+    """
+    if planner is not None:
+        if backend is not None:
+            raise ValueError(
+                "pass backend= only when the front door creates the planner; "
+                "an explicit planner already carries its backend policy")
+        return planner
+    if backend is None:
+        return AdaptivePlanner()
+    return AdaptivePlanner(backend=backend)
+
+
 def plan_sql(sql: str, catalog: Catalog,
              planner: Optional[AdaptivePlanner] = None,
              cost_model: Optional[CostModel] = None,
-             name: Optional[str] = None) -> PlannedSQL:
+             name: Optional[str] = None,
+             backend: Optional[str] = None) -> PlannedSQL:
     """Parse ``sql`` against ``catalog`` and plan it through the planner.
 
     A fresh :class:`AdaptivePlanner` is created when none is given, but
     callers that issue more than one statement should pass a shared planner
-    so its plan cache and budget memory carry across calls.
+    so its plan cache and budget memory carry across calls.  ``backend``
+    selects the kernel execution backend (``scalar``/``vectorized``/``auto``)
+    of that fresh planner; it cannot be combined with an explicit
+    ``planner``, which already carries its own backend policy.
     """
+    planner = _resolve_planner(planner, backend)
     parsed = parse_join_query(sql, catalog, cost_model=cost_model, name=name)
-    planner = planner or AdaptivePlanner()
     return PlannedSQL(parsed=parsed, outcome=planner.plan(parsed.query))
 
 
 def plan_sql_many(statements: Sequence[str], catalog: Catalog,
                   planner: Optional[AdaptivePlanner] = None,
-                  cost_model: Optional[CostModel] = None) -> List[PlannedSQL]:
-    """Parse and plan a batch of statements with structural deduplication."""
-    planner = planner or AdaptivePlanner()
+                  cost_model: Optional[CostModel] = None,
+                  backend: Optional[str] = None) -> List[PlannedSQL]:
+    """Parse and plan a batch of statements with structural deduplication.
+
+    ``backend`` follows the same rule as :func:`plan_sql`.
+    """
+    planner = _resolve_planner(planner, backend)
     parsed = [parse_join_query(sql, catalog, cost_model=cost_model)
               for sql in statements]
     outcomes = planner.plan_many([entry.query for entry in parsed])

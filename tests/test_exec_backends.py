@@ -1,0 +1,504 @@
+"""Kernel execution backends: scalar/vectorized equivalence and the arena.
+
+The vectorized backend's whole contract is *bit-identity* with the scalar
+reference (see ``src/repro/exec/``): same plans (down to join orientation on
+cost ties), same costs, same counters, same memo iteration order.  These
+tests pin that contract across the fig04/06-09 workloads and every
+shape-taxonomy topology, and cover the supporting layers: the PlanArena's
+lazy materialization, the batched cost/cardinality contracts, backend
+resolution, the planner/front-door knob, and the per-level batch sizes the
+GPU pipeline model now consumes.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core import bitmapset as bms
+from repro.core.arena import PlanArena
+from repro.core.counters import OptimizerStats
+from repro.core.enumeration import EnumerationContext
+from repro.core.joingraph import JoinGraph
+from repro.core.memo import MemoTable
+from repro.core.query import QueryInfo
+from repro.cost.cardinality import CardinalityEstimator
+from repro.cost.cout import CoutCostModel
+from repro.cost.postgres import PostgresCostModel
+from repro.exec import (
+    AUTO_VECTORIZE_MIN_RELATIONS,
+    ScalarBackend,
+    resolve_backend,
+    vectorized_supported,
+)
+from repro.exec.vectorized import VectorizedBackend
+from repro.gpu.pipeline import GPUPipelineModel
+from repro.gpu.simulated import MPDPGpu
+from repro.optimizers import DPSize, DPSub, MPDP
+from repro.optimizers.mpdp import MPDPTree
+from repro.planner import DEFAULT_REGISTRY, AdaptivePlanner
+from repro.workloads import (
+    chain_query,
+    clique_query,
+    cycle_query,
+    musicbrainz_query,
+    random_connected_query,
+    snowflake_query,
+    star_query,
+)
+
+# --------------------------------------------------------------------------- #
+# Workloads: the fig04/06-09 benchmark queries plus one of every shape in the
+# taxonomy (chain / star / snowflake / cycle / clique / general cyclic).
+# --------------------------------------------------------------------------- #
+WORKLOAD_FACTORIES = {
+    "fig04_star_n10_seed1": lambda: star_query(10, seed=1),
+    "fig06_star_n10_seed0": lambda: star_query(10, seed=0),
+    "fig07_snowflake_n12_seed0": lambda: snowflake_query(12, seed=0),
+    "fig08_clique_n9_seed0": lambda: clique_query(9, seed=0),
+    "fig09_musicbrainz_n13_seed0": lambda: musicbrainz_query(13, seed=0),
+    "shape_chain_n11": lambda: chain_query(11, seed=4),
+    "shape_cycle_n10": lambda: cycle_query(10, seed=2),
+    "shape_cyclic_sparse_n9": lambda: random_connected_query(
+        9, extra_edge_probability=0.15, seed=7),
+    "shape_cyclic_dense_n9": lambda: random_connected_query(
+        9, extra_edge_probability=0.5, seed=11),
+    "cout_star_n10": lambda: star_query(10, seed=0, cost_model=CoutCostModel()),
+    "cout_clique_n9": lambda: clique_query(9, seed=0, cost_model=CoutCostModel()),
+}
+
+#: Acyclic workloads MPDP:Tree accepts.
+TREE_WORKLOADS = ("fig04_star_n10_seed1", "fig06_star_n10_seed0",
+                  "fig07_snowflake_n12_seed0", "shape_chain_n11",
+                  "cout_star_n10")
+
+COUNTER_FIELDS = ("evaluated_pairs", "ccp_pairs", "sets_considered",
+                  "connected_sets", "level_sets", "level_considered",
+                  "level_pairs", "level_ccp", "memo_entries")
+
+
+def assert_equivalent(scalar_result, vectorized_result):
+    """The full bit-identity contract between two PlanResults."""
+    assert vectorized_result.cost == scalar_result.cost
+    # Frozen-dataclass equality covers every node's rows/cost/method and the
+    # exact left/right orientation chosen on cost ties.
+    assert vectorized_result.plan == scalar_result.plan
+    for field in COUNTER_FIELDS:
+        assert getattr(vectorized_result.stats, field) == \
+            getattr(scalar_result.stats, field), field
+    # Memo surface: same keys, same iteration order, same per-entry plans.
+    scalar_items = list(scalar_result.memo.items())
+    vectorized_items = list(vectorized_result.memo.items())
+    assert [k for k, _ in vectorized_items] == [k for k, _ in scalar_items]
+    for (_, scalar_plan), (_, vector_plan) in zip(scalar_items, vectorized_items):
+        assert vector_plan.cost == scalar_plan.cost
+
+
+class TestBackendEquivalence:
+    @pytest.mark.parametrize("workload", sorted(WORKLOAD_FACTORIES))
+    def test_mpdp_bit_identical(self, workload):
+        make = WORKLOAD_FACTORIES[workload]
+        # Fresh query per backend: equivalence must not rely on shared caches.
+        scalar = MPDP(backend="scalar").optimize(make())
+        vectorized = MPDP(backend="vectorized").optimize(make())
+        assert isinstance(vectorized.memo, PlanArena)
+        assert isinstance(scalar.memo, MemoTable)
+        assert_equivalent(scalar, vectorized)
+
+    @pytest.mark.parametrize("workload", sorted(WORKLOAD_FACTORIES))
+    def test_dpsub_bit_identical(self, workload):
+        make = WORKLOAD_FACTORIES[workload]
+        scalar = DPSub(backend="scalar").optimize(make())
+        vectorized = DPSub(backend="vectorized").optimize(make())
+        assert_equivalent(scalar, vectorized)
+
+    @pytest.mark.parametrize("workload", TREE_WORKLOADS)
+    def test_mpdp_tree_bit_identical(self, workload):
+        make = WORKLOAD_FACTORIES[workload]
+        scalar = MPDPTree(backend="scalar").optimize(make())
+        vectorized = MPDPTree(backend="vectorized").optimize(make())
+        assert_equivalent(scalar, vectorized)
+
+    @pytest.mark.parametrize("workload", sorted(WORKLOAD_FACTORIES))
+    def test_dpsize_bit_identical(self, workload):
+        make = WORKLOAD_FACTORIES[workload]
+        scalar = DPSize(backend="scalar").optimize(make())
+        vectorized = DPSize(backend="vectorized").optimize(make())
+        assert_equivalent(scalar, vectorized)
+
+    def test_dpsub_unrank_filter_bit_identical(self):
+        make = lambda: clique_query(7, seed=0)  # noqa: E731
+        scalar = DPSub(unrank_filter=True, backend="scalar").optimize(make())
+        vectorized = DPSub(unrank_filter=True, backend="vectorized").optimize(make())
+        assert_equivalent(scalar, vectorized)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_mpdp_random_topologies(self, seed):
+        """Property sweep over random cyclic graphs (hang-off lift stress)."""
+        for density in (0.1, 0.3, 0.6):
+            make = lambda: random_connected_query(  # noqa: E731
+                8, extra_edge_probability=density, seed=seed)
+            scalar = MPDP(backend="scalar").optimize(make())
+            vectorized = MPDP(backend="vectorized").optimize(make())
+            assert_equivalent(scalar, vectorized)
+
+    def test_subset_scope_bit_identical(self):
+        """Fragment optimization (within=) runs the same on both backends."""
+        make = lambda: musicbrainz_query(13, seed=0)  # noqa: E731
+        query_a, query_b = make(), make()
+        context = EnumerationContext.of(query_a.graph)
+        # A connected 8-vertex fragment of the query.
+        fragment = next(iter(context.connected_subsets(8)))
+        scalar = MPDP(backend="scalar").optimize(query_a, subset=fragment)
+        vectorized = MPDP(backend="vectorized").optimize(query_b, subset=fragment)
+        assert_equivalent(scalar, vectorized)
+
+    def test_auto_backend_matches_scalar(self):
+        make = lambda: musicbrainz_query(13, seed=1)  # noqa: E731
+        scalar = MPDP(backend="scalar").optimize(make())
+        auto = MPDP(backend="auto").optimize(make())
+        assert_equivalent(scalar, auto)
+
+
+class TestPlanArena:
+    def _arena_result(self, make=lambda: star_query(9, seed=0)):
+        return MPDP(backend="vectorized").optimize(make())
+
+    def test_plans_materialized_lazily(self):
+        result = self._arena_result()
+        arena = result.memo
+        assert isinstance(arena, PlanArena)
+        # The DP sweep stored splits, not plans, for every joined set: only
+        # the leaves and the final backtracked plan line are materialized.
+        materialized = len(arena._plans)
+        assert materialized < len(arena)
+        top = arena[star_query(9, seed=0).all_relations_mask]
+        assert top.cost == result.cost
+        # Accessing an interior entry materializes it (and caches it).
+        key = arena.keys_of_size(2)[0]
+        assert arena.split_of(key) is not None
+        plan = arena[key]
+        assert arena[key] is plan
+
+    def test_materialization_matches_stored_cost(self):
+        result = self._arena_result()
+        arena = result.memo
+        for key, plan in arena.items():
+            assert plan.cost == arena.cost_of(key)
+            assert plan.rows == arena.rows_of(key)
+            plan.validate()
+
+    def test_cost_drift_detection(self):
+        """Materialization cross-checks the batched cost (arena contract)."""
+        result = self._arena_result()
+        arena = result.memo
+        key = arena.keys_of_size(3)[0]
+        slot = arena._index[key]
+        arena._cost[slot] = arena._cost[slot] * 1.5  # simulate kernel drift
+        with pytest.raises(RuntimeError, match="cost_batch drift"):
+            arena[key]
+
+    def test_record_level_rejects_existing_keys(self):
+        query = star_query(4, seed=0)
+        arena = PlanArena(query)
+        arena.put(0b1, query.leaf_plan(0))
+        with pytest.raises(ValueError, match="already holds"):
+            arena.record_level([0b1], [1.0], [1.0], [0b1], [0b1])
+
+    def test_put_mirrors_memo_semantics(self):
+        query = star_query(4, seed=0)
+        arena = PlanArena(query)
+        memo = MemoTable()
+        for vertex in range(4):
+            arena.put(bms.bit(vertex), query.leaf_plan(vertex))
+            memo.put(bms.bit(vertex), query.leaf_plan(vertex))
+        pair = bms.from_indices([0, 1])
+        plan = query.join(bms.bit(0), bms.bit(1),
+                          query.leaf_plan(0), query.leaf_plan(1))
+        assert arena.put(pair, plan) is True
+        assert arena.put(pair, plan) is False  # equal cost: first wins
+        assert arena.keys_of_size(1) == memo.keys_of_size(1)
+        assert len(arena) == 5
+        assert pair in arena
+        assert arena.get(bms.from_indices([2, 3])) is None
+        arena.clear()
+        assert len(arena) == 0 and arena.n_updates == 0
+
+
+class TestBackendResolution:
+    def test_names_and_errors(self):
+        query = star_query(5, seed=0)
+        with pytest.raises(ValueError, match="unknown kernel backend"):
+            resolve_backend("simd", query)
+        with pytest.raises(ValueError, match="unknown kernel backend"):
+            MPDP(backend="simd")
+        assert isinstance(resolve_backend("scalar", query), ScalarBackend)
+        assert isinstance(resolve_backend("vectorized", query), VectorizedBackend)
+
+    def test_auto_is_size_gated(self):
+        small = star_query(AUTO_VECTORIZE_MIN_RELATIONS - 1, seed=0)
+        large = star_query(AUTO_VECTORIZE_MIN_RELATIONS, seed=0)
+        assert isinstance(resolve_backend("auto", small), ScalarBackend)
+        assert isinstance(resolve_backend("auto", large), VectorizedBackend)
+        # The gate counts the optimized subset, not the whole graph.
+        subset = bms.from_indices(range(4))
+        assert isinstance(resolve_backend("auto", large, subset), ScalarBackend)
+
+    def test_wide_graphs_fall_back_to_scalar(self):
+        graph = JoinGraph(70)
+        for vertex in range(1, 70):
+            graph.add_edge(0, vertex, selectivity=1e-3)
+        query = QueryInfo(graph, [1e3] * 70)
+        assert not vectorized_supported(query)
+        assert isinstance(resolve_backend("vectorized", query), ScalarBackend)
+
+    def test_capabilities_report_backends(self):
+        for name in ("MPDP", "MPDP:Tree", "DPsub", "DPsize", "PDP"):
+            capabilities = DEFAULT_REGISTRY.capabilities(name)
+            assert capabilities.supports_backend("vectorized"), name
+            assert capabilities.supports_backend("scalar")
+            assert capabilities.supports_backend("auto")
+        goo = DEFAULT_REGISTRY.capabilities("GOO")
+        assert not goo.supports_backend("vectorized")
+        assert not goo.supports_backend("auto")
+        assert goo.supports_backend("scalar")
+
+    def test_registry_builds_backend_instances(self):
+        optimizer = DEFAULT_REGISTRY.create("MPDP", backend="vectorized")
+        assert optimizer.backend == "vectorized"
+        result = optimizer.optimize(star_query(8, seed=0))
+        assert isinstance(result.memo, PlanArena)
+
+
+class TestBatchedCostContract:
+    def test_cout_cost_batch_bitwise(self):
+        import numpy as np
+
+        model = CoutCostModel()
+        rng_rows = np.array([10.0, 3e5, 7.25, 1e12])
+        left_costs = np.array([0.0, 125.5, 3.75, 9e9])
+        right_rows = np.array([5.0, 2e4, 11.0, 1e3])
+        right_costs = np.array([1.0, 999.25, 0.0, 8e8])
+        out_rows = np.array([50.0, 6e9, 80.0, 1e15])
+        batched = model.cost_batch(left_costs=left_costs, left_rows=rng_rows,
+                                   right_rows=right_rows, right_costs=right_costs,
+                                   output_rows=out_rows)
+        for index in range(4):
+            expected = model.join_cost_from_stats(
+                float(rng_rows[index]), float(left_costs[index]),
+                float(right_rows[index]), float(right_costs[index]),
+                float(out_rows[index]))
+            assert float(batched[index]) == expected
+
+    def test_postgres_stats_fallback_matches_join(self):
+        model = PostgresCostModel()
+        left = model.scan(0, 1e4)
+        right = model.scan(1, 2e6)
+        for out_rows in (1.0, 5e3, 1e9):
+            plan = model.join(left, right, out_rows)
+            assert model.join_cost_from_stats(
+                left.rows, left.cost, right.rows, right.cost, out_rows) == plan.cost
+
+    def test_default_cost_batch_uses_stub_plans(self):
+        class MinimalModel(CoutCostModel):
+            name = "minimal"
+            # No cost_batch / join_cost_from_stats overrides: exercise the
+            # CostModel defaults (stub plans through join()).
+            join_cost_from_stats = CoutCostModel.__mro__[1].join_cost_from_stats
+            cost_batch = CoutCostModel.__mro__[1].cost_batch
+
+        model = MinimalModel()
+        batched = model.cost_batch([1.0, 2.0], [3.0, 4.0], [5.0, 6.0],
+                                   [7.0, 8.0], [9.0, 10.0])
+        assert list(batched) == [3.0 + 7.0 + 9.0, 4.0 + 8.0 + 10.0]
+
+    def test_rows_batch_deduplicates_and_matches_scalar(self):
+        query = star_query(7, seed=0)
+        estimator = query.cardinality
+        masks = [0b11, 0b101, 0b11, 0b1110, 0b101]
+        batched = estimator.rows_batch(masks)
+        assert list(batched) == [estimator.rows(mask) for mask in masks]
+
+    def test_rows_batch_on_contracted_query(self):
+        query = clique_query(6, seed=0)
+        partitions = [bms.from_indices([0, 1]), bms.from_indices([2, 3]),
+                      bms.from_indices([4, 5])]
+        plans = [MPDP().optimize(query, subset=p).plan for p in partitions]
+        contracted = query.contract(partitions, plans)
+        masks = [0b11, 0b111, 0b11]
+        assert list(contracted.rows_batch(masks)) == \
+            [contracted.rows(mask) for mask in masks]
+
+
+class TestBlockOrderCoupling:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_fused_dfs_matches_find_blocks_order(self, seed):
+        """The vectorized backend's fused Hopcroft-Tarjan walk must emit
+        blocks in exactly ``find_blocks``'s order: scalar cost-tie winners
+        depend on block iteration order, so a divergence here silently
+        changes vectorized tie-breaks.  If this test starts failing after a
+        change to ``core/blocks.py``, update ``_blocks_and_hangs`` to match
+        the new emission order (not the other way around)."""
+        from repro.core.blocks import find_blocks
+        from repro.exec.vectorized import _blocks_and_hangs
+
+        for density in (0.0, 0.2, 0.5, 1.0):
+            query = random_connected_query(
+                9, extra_edge_probability=density, seed=seed)
+            graph = query.graph
+            context = EnumerationContext.of(graph)
+            for size in (3, 5, 7, 9):
+                for target in context.connected_subsets(size)[:40]:
+                    fused_blocks, hangs = _blocks_and_hangs(graph, target)
+                    assert fused_blocks == find_blocks(graph, target).blocks
+                    # Hang-offs per block partition target \ block.
+                    for block, weights in zip(fused_blocks, hangs):
+                        if weights is None:
+                            assert block == target
+                            continue
+                        union = 0
+                        for mask in weights:
+                            assert union & mask == 0
+                            union |= mask
+                        assert union == target & ~block
+
+
+class TestMPDPTreeContextHoist:
+    def test_context_resolved_once_per_run(self, monkeypatch):
+        """Tree-split enumeration must touch the context cache O(1) times
+        per query, not once per candidate set (the old per-call lookup)."""
+        query = star_query(10, seed=0)
+        EnumerationContext.of(query.graph)  # pre-create outside the count
+        calls = []
+        original = EnumerationContext.of.__func__
+
+        def counting_of(cls, graph):
+            calls.append(graph)
+            return original(cls, graph)
+
+        monkeypatch.setattr(EnumerationContext, "of", classmethod(counting_of))
+        result = MPDPTree().optimize(query)
+        assert result.stats.connected_sets > 100  # far more sets than lookups
+        assert len(calls) <= 4
+
+    def test_edge_splits_accepts_shared_context(self):
+        query = star_query(6, seed=0)
+        context = EnumerationContext.of(query.graph)
+        mask = query.all_relations_mask
+        with_context = list(MPDPTree._edge_splits(query, mask, context))
+        without = list(MPDPTree._edge_splits(query, mask))
+        assert with_context == without
+        assert len(with_context) == 2 * (query.n_relations - 1)
+
+
+class TestGPUPipelineBatchSizes:
+    def _stats_with(self, level_considered):
+        stats = OptimizerStats(algorithm="x")
+        stats.level_pairs = {3: 100}
+        stats.level_ccp = {3: 10}
+        stats.level_sets = {3: 5}
+        stats.level_considered = dict(level_considered)
+        return stats
+
+    def test_unrank_uses_recorded_batch_sizes(self):
+        model = GPUPipelineModel(uses_subset_unranking=True)
+        small = model.simulate(self._stats_with({3: 10}), 12)
+        large = model.simulate(self._stats_with({3: 220}), 12)
+        assert large.unrank > small.unrank
+        assert large.filter > small.filter
+
+    def test_unrank_falls_back_to_comb_for_legacy_stats(self):
+        from math import comb
+
+        model = GPUPipelineModel(uses_subset_unranking=True)
+        legacy = self._stats_with({})
+        recorded = self._stats_with({3: comb(12, 3)})
+        assert model.simulate(legacy, 12).unrank == \
+            model.simulate(recorded, 12).unrank
+
+    def test_gpu_wrapper_backend_passthrough(self):
+        make = lambda: star_query(10, seed=0)  # noqa: E731
+        scalar = MPDPGpu(backend="scalar").optimize(make())
+        vectorized = MPDPGpu(backend="vectorized").optimize(make())
+        assert vectorized.cost == scalar.cost
+        assert vectorized.plan == scalar.plan
+        assert vectorized.stats.extra["gpu_total_seconds"] == pytest.approx(
+            scalar.stats.extra["gpu_total_seconds"])
+
+
+class TestPlannerBackendKnob:
+    def test_planner_outcomes_bit_identical_across_backends(self):
+        make = lambda: musicbrainz_query(13, seed=0)  # noqa: E731
+        scalar = AdaptivePlanner(backend="scalar", enable_cache=False).plan(make())
+        vectorized = AdaptivePlanner(backend="vectorized",
+                                     enable_cache=False).plan(make())
+        auto = AdaptivePlanner(backend="auto", enable_cache=False).plan(make())
+        assert scalar.decision.algorithm == vectorized.decision.algorithm
+        assert scalar.cost == vectorized.cost == auto.cost
+        assert scalar.plan == vectorized.plan == auto.plan
+        assert vectorized.decision.backend == "vectorized"
+        assert auto.decision.backend == "auto"
+
+    def test_planner_rejects_unknown_backend(self):
+        with pytest.raises(ValueError, match="unknown kernel backend"):
+            AdaptivePlanner(backend="gpu")
+
+    def test_backends_share_cache_entries(self):
+        """Backends are bit-identical, so the cache key must not depend on
+        the backend knob: a scalar planner's entry serves a vectorized one."""
+        from repro.planner.cache import PlanCache
+
+        scalar = AdaptivePlanner(backend="scalar")
+        vectorized = AdaptivePlanner(backend="vectorized")
+        assert scalar._policy_tag == vectorized._policy_tag
+        shared = PlanCache()
+        first = AdaptivePlanner(backend="scalar", cache=shared)
+        second = AdaptivePlanner(backend="vectorized", cache=shared)
+        make = lambda: star_query(8, seed=5)  # noqa: E731
+        miss = first.plan(make())
+        hit = second.plan(make())
+        assert not miss.decision.cache_hit
+        assert hit.decision.cache_hit
+        assert hit.cost == miss.cost
+
+    def test_plan_sql_backend_knob(self):
+        from repro.catalog.schema import Catalog
+        from repro.sql import plan_sql
+
+        catalog = Catalog()
+        for table in ("a", "b", "c"):
+            catalog.add_table(table, 1e4)
+        sql = "select * from a, b, c where a.x = b.x and b.y = c.y"
+        planned = plan_sql(sql, catalog, backend="vectorized")
+        assert planned.outcome.decision.backend == "vectorized"
+        with pytest.raises(ValueError, match="backend="):
+            plan_sql(sql, catalog, planner=AdaptivePlanner(), backend="scalar")
+
+    def test_cli_backend_flag(self, capsys):
+        from repro.planner.cli import main
+
+        exit_code = main(["select * from a, b where a.x = b.x",
+                          "--backend", "vectorized", "--no-plan"])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "backend   : vectorized" in output
+
+
+@pytest.mark.perf_smoke
+class TestVectorizedPerfSmoke:
+    def test_vectorized_clique_level_sweep_is_fast(self):
+        """Guard against catastrophic regressions of the batched kernels.
+
+        A 13-clique MPDP sweep evaluates ~1.6M pairs; the vectorized backend
+        does it in well under a second on any recent machine, so a generous
+        absolute bound catches only order-of-magnitude regressions (the
+        bit-identity suite above covers correctness).
+        """
+        query = clique_query(13, seed=0, cost_model=CoutCostModel())
+        start = time.perf_counter()
+        result = MPDP(backend="vectorized").optimize(query)
+        elapsed = time.perf_counter() - start
+        assert result.stats.evaluated_pairs == sum(
+            result.stats.level_pairs.values())
+        assert elapsed < 10.0

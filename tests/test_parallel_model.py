@@ -92,3 +92,39 @@ class TestSimulatedTimes:
         model = ParallelCPUModel()
         assert model.simulate(stats, 8, "DPccp") == pytest.approx(
             model.producer_consumer_time(stats, 8))
+
+
+class TestSpeedupCurveDispatch:
+    def test_explicit_style_needs_no_registry_entry(self, mpdp_stats, recwarn):
+        """An unregistered name with an explicit style must not warn — the
+        style is forwarded to every curve point instead of being re-resolved
+        through the deprecated name-prefix fallback per point."""
+        import warnings
+
+        model = ParallelCPUModel()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            curve = speedup_curve(model, mpdp_stats, "MyCustomOptimizer",
+                                  [1, 8, 24], execution_style="level_parallel")
+        assert curve[1] == pytest.approx(1.0)
+        assert curve[24] > curve[8] > curve[1] - 1e-9
+
+    def test_explicit_style_overrides_name(self, dpe_stats):
+        model = ParallelCPUModel()
+        as_producer = speedup_curve(model, dpe_stats, "DPE", [24])[24]
+        forced = speedup_curve(model, dpe_stats, thread_counts=[24],
+                               execution_style="producer_consumer")[24]
+        assert forced == pytest.approx(as_producer)
+
+    def test_unregistered_name_warns_once(self, mpdp_stats):
+        model = ParallelCPUModel()
+        with pytest.warns(DeprecationWarning) as record:
+            curve = speedup_curve(model, mpdp_stats, "NotRegisteredDP",
+                                  [1, 4, 8, 16, 24])
+        assert len(curve) == 5
+        # One resolution for the whole curve, not one per curve point.
+        assert len(record) == 1
+
+    def test_requires_name_or_style(self, mpdp_stats):
+        with pytest.raises(ValueError):
+            speedup_curve(ParallelCPUModel(), mpdp_stats, thread_counts=[1])
