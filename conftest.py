@@ -4,9 +4,18 @@ The benchmark and test suites should run even when the package has not been
 pip-installed (the offline environment makes editable installs awkward), so
 the source tree is added to ``sys.path`` here.
 
-Also registers the ``perf_smoke`` marker: fast wall-clock guards that run as
-part of tier-1 and fail on catastrophic performance regressions of the
-enumeration engine.  Run just those with ``pytest -m perf_smoke``.
+Also registers the custom markers:
+
+* ``perf_smoke`` — fast wall-clock guards that run as part of tier-1 and
+  fail on catastrophic performance regressions.  Run just those with
+  ``pytest -m perf_smoke``.
+* ``multicore`` — tests that spawn worker processes through the multicore
+  kernel backend.  Deselect on constrained runners (single-core CI boxes,
+  sandboxes without /dev/shm) with ``pytest -m "not multicore"``.
+
+And the ``--update-golden`` option: golden-plan snapshot tests
+(``tests/test_golden_plans.py``) regenerate their pinned files under
+``tests/golden/`` instead of asserting against them.
 """
 
 import os
@@ -17,9 +26,22 @@ if _SRC not in sys.path:
     sys.path.insert(0, _SRC)
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden", action="store_true", default=False,
+        help="regenerate the golden-plan snapshots under tests/golden/ "
+             "instead of asserting against them",
+    )
+
+
 def pytest_configure(config):
     config.addinivalue_line(
         "markers",
         "perf_smoke: fast wall-clock guard against catastrophic enumeration "
         "regressions (part of tier-1; select with -m perf_smoke)",
+    )
+    config.addinivalue_line(
+        "markers",
+        "multicore: spawns worker processes via the multicore kernel "
+        "backend (deselect with -m 'not multicore' on constrained runners)",
     )

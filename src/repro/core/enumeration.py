@@ -165,6 +165,15 @@ class EnumerationContext:
         self._neighbours: Dict[int, int] = {}
         self._blocks: Dict[int, BlockDecomposition] = {}
         self._grow: Dict[Tuple[int, int], int] = {}
+        #: Cache-miss counters (cumulative over the context's lifetime, i.e.
+        #: across every run sharing the graph).  A miss is one recomputation
+        #: of a derived value; the kernel backends are expected to touch
+        #: these O(distinct masks) times per run, never O(pairs) — see
+        #: ``tests/test_multicore_backend.py::TestKernelStateHoist``.
+        self.connectivity_misses = 0
+        self.neighbour_misses = 0
+        self.block_misses = 0
+        self.grow_misses = 0
 
     # ------------------------------------------------------------------ #
     # Acquisition
@@ -228,6 +237,7 @@ class EnumerationContext:
         """Cached :meth:`JoinGraph.neighbours_of_set`."""
         cached = self._neighbours.get(mask)
         if cached is None:
+            self.neighbour_misses += 1
             result = 0
             adjacency = self.graph._adjacency
             remaining = mask
@@ -249,6 +259,7 @@ class EnumerationContext:
         """Cached connectivity of the subgraph induced by ``mask``."""
         cached = self._connected.get(mask)
         if cached is None:
+            self.connectivity_misses += 1
             if mask == 0:
                 cached = False
             elif mask & (mask - 1) == 0:
@@ -267,6 +278,7 @@ class EnumerationContext:
         key = (source, restricted)
         cached = self._grow.get(key)
         if cached is None:
+            self.grow_misses += 1
             cached = self._grow_uncached(source, restricted)
             if len(self._grow) >= _GROW_CACHE_LIMIT:
                 self._grow.clear()
@@ -308,6 +320,7 @@ class EnumerationContext:
         """
         cached = self._blocks.get(mask)
         if cached is None:
+            self.block_misses += 1
             cached = find_blocks(self.graph, mask)
             if len(self._blocks) >= _MASK_CACHE_LIMIT:
                 self._blocks.clear()
@@ -326,6 +339,10 @@ class EnumerationContext:
             "grow_entries": len(self._grow),
             "index_scopes": len(self._indexes),
             "index_subsets": sum(i.subset_count for i in self._indexes.values()),
+            "connectivity_misses": self.connectivity_misses,
+            "neighbour_misses": self.neighbour_misses,
+            "block_misses": self.block_misses,
+            "grow_misses": self.grow_misses,
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

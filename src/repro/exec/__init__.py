@@ -1,12 +1,15 @@
 """Pluggable kernel execution backends for the level-parallel DP optimizers.
 
 See :mod:`repro.exec.backend` for the :class:`KernelBackend` protocol and the
-scalar reference implementation, and :mod:`repro.exec.vectorized` for the
-batched numpy backend.  ``VectorizedBackend`` is intentionally not imported
-eagerly — environments without numpy can still use everything scalar.
+scalar reference implementation, :mod:`repro.exec.vectorized` for the batched
+numpy backend, and :mod:`repro.exec.multicore` for the sharded worker-process
+backend.  ``VectorizedBackend`` and ``MulticoreBackend`` are intentionally
+not imported eagerly — environments without numpy can still use everything
+scalar.
 """
 
 from .backend import (
+    AUTO_MULTICORE_MIN_RELATIONS,
     AUTO_VECTORIZE_MIN_RELATIONS,
     BACKEND_NAMES,
     KernelBackend,
@@ -15,10 +18,12 @@ from .backend import (
     ScalarBackend,
     iter_tree_edge_splits,
     resolve_backend,
+    validate_workers,
     vectorized_supported,
 )
 
 __all__ = [
+    "AUTO_MULTICORE_MIN_RELATIONS",
     "AUTO_VECTORIZE_MIN_RELATIONS",
     "BACKEND_NAMES",
     "KernelBackend",
@@ -27,5 +32,6 @@ __all__ = [
     "ScalarBackend",
     "iter_tree_edge_splits",
     "resolve_backend",
+    "validate_workers",
     "vectorized_supported",
 ]

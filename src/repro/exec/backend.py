@@ -14,11 +14,17 @@ optimizers (DPsub, MPDP, MPDP:Tree, DPsize) *emit* those level batches; a
 * :class:`~repro.exec.vectorized.VectorizedBackend` — evaluates one DP level
   at a time as numpy arrays over a
   :class:`~repro.core.arena.PlanArena` (see that module).
+* :class:`~repro.exec.multicore.MulticoreBackend` — partitions each level's
+  target batch into contiguous shards and evaluates them with the same
+  vectorized kernels in worker *processes*, over ``shared_memory`` views of
+  the arena columns (the paper's per-level work partitioning, Section 7.4).
 
 A backend instance is stateless and cheap; optimizers resolve one per run
 with :func:`resolve_backend`, which also implements the ``auto`` policy
-(vectorize when the query is large enough to amortize array setup) and the
-graceful fallbacks (no numpy, or vertex bitmaps too wide for int64 lanes).
+(vectorize when the query is large enough to amortize array setup, escalate
+to multicore workers when the query and the machine are large enough to
+amortize IPC) and the graceful fallbacks (no numpy, or vertex bitmaps too
+wide for int64 lanes).
 
 One batch method exists per level *shape*, because the four rewired
 optimizers emit structurally different batches:
@@ -45,9 +51,10 @@ Method                 Batch shape
 
 from __future__ import annotations
 
+import os
 from abc import ABC, abstractmethod
-from dataclasses import dataclass
-from typing import Iterator, Optional, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Optional, Sequence, Tuple
 
 from ..core import bitmapset as bms
 from ..core.counters import OptimizerStats
@@ -63,22 +70,52 @@ __all__ = [
     "resolve_backend",
     "vectorized_supported",
     "iter_tree_edge_splits",
+    "validate_workers",
     "BACKEND_NAMES",
     "AUTO_VECTORIZE_MIN_RELATIONS",
+    "AUTO_MULTICORE_MIN_RELATIONS",
 ]
 
 #: The backend names optimizers and the planner accept.
-BACKEND_NAMES = ("scalar", "vectorized", "auto")
+BACKEND_NAMES = ("scalar", "vectorized", "multicore", "auto")
 
 #: ``auto`` switches to the vectorized backend at this many relations: below
 #: it, per-level batches are too small for array setup to pay off and the
 #: scalar loops win.
 AUTO_VECTORIZE_MIN_RELATIONS = 12
 
+#: ``auto`` escalates from vectorized to multicore workers at this many
+#: relations (and only when more than one CPU is usable): below it the whole
+#: optimization finishes in tens of milliseconds and worker IPC cannot pay
+#: for itself.  The multicore backend additionally gates *per level* (see
+#: :mod:`repro.exec.multicore`), so small levels of a large query still run
+#: in-process.
+AUTO_MULTICORE_MIN_RELATIONS = 14
+
 #: The vectorized kernels pack vertex bitmaps into int64 lanes; wider graphs
 #: (only reachable through the 100+-relation heuristic drivers) fall back to
 #: the scalar backend.
 _MAX_VECTOR_RELATIONS = 62
+
+
+def _available_cpus() -> int:
+    """Usable CPU count (affinity-aware where the platform reports it)."""
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except AttributeError:  # pragma: no cover - non-Linux fallback
+        return os.cpu_count() or 1
+
+
+def validate_workers(workers: Optional[int]) -> None:
+    """Reject non-positive multicore worker counts (``None`` = auto is fine).
+
+    The single source of the policy — every entry point (optimizer
+    constructors, :func:`resolve_backend`, the planner, the multicore
+    module) funnels through here so they cannot diverge.
+    """
+    if workers is not None and workers < 1:
+        raise ValueError(
+            f"workers must be a positive integer, got {workers!r}")
 
 
 @dataclass
@@ -91,6 +128,13 @@ class KernelState:
     stats: OptimizerStats
     #: The vertex bitmap being optimized (the enumeration scope).
     scope: int
+    #: Per-run derived state hoisted out of the per-level kernels: the
+    #: vectorized/multicore backends keep their incremental arena-snapshot
+    #: builder (adjacency + neighbour columns, computed once per entry) and
+    #: per-scope tree-split arrays here, so one run never re-derives them
+    #: per level — and the multicore backend's in-process fallback shares
+    #: them with its sharded levels.
+    cache: Dict[str, object] = field(default_factory=dict)
 
 
 def iter_tree_edge_splits(context: EnumerationContext, graph,
@@ -256,20 +300,26 @@ class KernelOptimizerMixin:
     """Shared plumbing for optimizers that execute on kernel backends."""
 
     #: Backends this optimizer can execute on (capability metadata).
-    supported_backends: Tuple[str, ...] = ("scalar", "vectorized")
+    supported_backends: Tuple[str, ...] = ("scalar", "vectorized", "multicore")
     #: The requested backend; resolved per run by :func:`resolve_backend`.
     backend: str = "scalar"
+    #: Worker-process count for the multicore backend (``None`` = one per
+    #: usable CPU); ignored by the in-process backends.
+    workers: Optional[int] = None
 
-    def _init_backend(self, backend: str) -> None:
+    def _init_backend(self, backend: str, workers: Optional[int] = None) -> None:
         if backend not in BACKEND_NAMES:
             raise ValueError(
                 f"unknown kernel backend {backend!r}; choose one of "
                 f"{', '.join(BACKEND_NAMES)}")
+        validate_workers(workers)
         self.backend = backend
+        self.workers = workers
 
     def _resolve_backend(self, query: QueryInfo,
                          subset: Optional[int] = None) -> KernelBackend:
-        return resolve_backend(self.backend, query, subset)
+        return resolve_backend(self.backend, query, subset,
+                               workers=self.workers)
 
     def _make_memo(self, query: QueryInfo, subset: int):
         """The DP table matching the backend this run will execute on."""
@@ -292,34 +342,53 @@ def vectorized_supported(query: QueryInfo) -> bool:
 
 
 def resolve_backend(requested: str, query: QueryInfo,
-                    subset: Optional[int] = None) -> KernelBackend:
+                    subset: Optional[int] = None,
+                    workers: Optional[int] = None) -> KernelBackend:
     """The backend that will actually execute one optimizer run.
 
-    ``"scalar"`` and ``"vectorized"`` request those backends directly —
-    except that a vectorized request on an unsupported query (no numpy, or
-    a graph wider than int64 lanes) quietly degrades to scalar, because the
-    backend is a performance knob and both produce bit-identical results.
-    ``"auto"`` picks vectorized for queries of at least
-    :data:`AUTO_VECTORIZE_MIN_RELATIONS` relations (counted over the
-    optimized ``subset``), where per-level batches are large enough for
-    array execution to pay off.
+    ``"scalar"``, ``"vectorized"`` and ``"multicore"`` request those
+    backends directly — except that a vectorized or multicore request on an
+    unsupported query (no numpy, or a graph wider than int64 lanes) quietly
+    degrades to scalar, because the backend is a performance knob and all
+    backends produce bit-identical results.  ``"auto"`` picks vectorized for
+    queries of at least :data:`AUTO_VECTORIZE_MIN_RELATIONS` relations
+    (counted over the optimized ``subset``), and escalates to multicore from
+    :data:`AUTO_MULTICORE_MIN_RELATIONS` relations when more than one CPU is
+    usable — the multicore backend then still routes individual levels below
+    its measured break-even batch size through the in-process kernels.
+
+    ``workers`` (multicore only) caps the worker-process count; ``None``
+    uses one worker per usable CPU.
     """
     if requested not in BACKEND_NAMES:
         raise ValueError(
             f"unknown kernel backend {requested!r}; choose one of "
             f"{', '.join(BACKEND_NAMES)}")
+    validate_workers(workers)
     if requested == "scalar":
         return ScalarBackend()
     supported = vectorized_supported(query)
+    if not supported:
+        # >62-relation graphs (or numpy-less environments) degrade to the
+        # scalar loops for every non-scalar request, multicore included.
+        return ScalarBackend()
     if requested == "vectorized":
-        if not supported:
-            return ScalarBackend()
         from .vectorized import VectorizedBackend
 
         return VectorizedBackend()
+    if requested == "multicore":
+        from .multicore import MulticoreBackend
+
+        return MulticoreBackend(workers=workers)
     # auto: size-gated
     mask = subset if subset is not None else query.all_relations_mask
-    if supported and bms.popcount(mask) >= AUTO_VECTORIZE_MIN_RELATIONS:
+    n = bms.popcount(mask)
+    if n >= AUTO_VECTORIZE_MIN_RELATIONS:
+        cpus = _available_cpus()
+        if n >= AUTO_MULTICORE_MIN_RELATIONS and min(workers or cpus, cpus) >= 2:
+            from .multicore import MulticoreBackend
+
+            return MulticoreBackend(workers=workers)
         from .vectorized import VectorizedBackend
 
         return VectorizedBackend()

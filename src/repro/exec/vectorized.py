@@ -25,16 +25,34 @@ level is executed as four array stages over the whole level batch —
    under every shipped model), so the sequence tie-break is what keeps
    plans bit-identical to :class:`~repro.exec.backend.ScalarBackend`.
 
+The unrank/filter/evaluate/scatter-min stages for one *contiguous shard of
+targets* are exposed as module-level functions (:func:`run_subset_shard`,
+:func:`run_block_shard`, :func:`run_tree_shard`).  They are pure: input is a
+:class:`Snapshot` of the arena columns plus plain arrays, output is the
+per-target winner columns.  :class:`VectorizedBackend` runs them in-process
+over the whole level; :class:`~repro.exec.multicore.MulticoreBackend` runs
+the *same* functions in worker processes over ``shared_memory`` views of the
+snapshot, one shard per worker.  Because per-target winner selection is the
+lexicographic ``(cost, sequence)`` minimum and every target lives in exactly
+one shard, sharding cannot change any winner — the multicore scatter stays
+bit-identical by construction.
+
 Everything order-sensitive is pinned to the scalar reference: targets are
 processed in ascending-mask order, submask splits carry their dense rank,
 tree splits carry twice their edge index, and DPsize pairs carry their
 row-major grid position.  ``tests/test_exec_backends.py`` asserts
 bit-identical plans, costs and counters across workloads and topologies.
 
+The per-run derived state — the per-vertex adjacency column and the arena
+snapshot's neighbour column — is hoisted into ``KernelState.cache`` via
+:class:`SnapshotBuilder`: neighbours are computed exactly once per arena
+entry (incrementally, as levels append) instead of being re-derived for the
+whole table at every level.
+
 Degenerate shapes (a biconnected block or level wider than
 :data:`_MAX_DENSE_BITS` bits, whose dense split matrix would not fit in
-memory) fall back to the scalar loops per block — against the same arena,
-so results are unaffected.
+memory) fall back to scalar loops per block — against the same snapshot, so
+results are unaffected.
 """
 
 from __future__ import annotations
@@ -49,7 +67,18 @@ from ..core.arena import PlanArena
 from ..core.query import QueryInfo
 from .backend import KernelBackend, KernelState, ScalarBackend
 
-__all__ = ["VectorizedBackend"]
+__all__ = [
+    "VectorizedBackend",
+    "Snapshot",
+    "SnapshotBuilder",
+    "TreeInfo",
+    "snapshot_for",
+    "tree_info_for",
+    "build_tree_info",
+    "run_subset_shard",
+    "run_block_shard",
+    "run_tree_shard",
+]
 
 #: Widest submask universe expanded through the dense split matrix
 #: (``2^k`` rows); larger blocks/levels take the scalar fallback.
@@ -59,7 +88,8 @@ _MAX_DENSE_BITS = 16
 #: memory at roughly a few hundred megabytes across the per-chunk arrays).
 _CHUNK_ELEMENTS = 1 << 20
 
-#: Dense 0/1 bit matrices, cached per universe width.
+#: Dense 0/1 bit matrices, cached per universe width (per process — worker
+#: processes build their own on first use).
 _DENSE_CACHE: Dict[int, np.ndarray] = {}
 
 _SEQ_MAX = np.iinfo(np.int64).max
@@ -92,8 +122,33 @@ def _bit_positions(masks: np.ndarray, k: int, n_bits: int) -> np.ndarray:
     return np.nonzero(membership)[1].reshape(len(masks), k)
 
 
-def _blocks_and_hangs(graph, target: int):
+def _grow(adjacency: Sequence[int], source: int, restricted: int) -> int:
+    """BFS grow over a plain adjacency column (Section 3.2.1).
+
+    Same fixpoint as :meth:`EnumerationContext.grow
+    <repro.core.enumeration.EnumerationContext.grow>` — a pure function of
+    the adjacency masks, so worker processes (which hold no context) compute
+    identical lifts.
+    """
+    reached = source
+    frontier = source
+    while frontier:
+        raw = 0
+        while frontier:
+            low = frontier & -frontier
+            frontier ^= low
+            raw |= adjacency[low.bit_length() - 1]
+        frontier = raw & restricted & ~reached
+        reached |= frontier
+    return reached
+
+
+def _blocks_and_hangs(adjacency: Sequence[int], target: int):
     """Blocks of ``target`` plus the hang-off mask of every block vertex.
+
+    ``adjacency`` is the graph's per-vertex neighbour-bitmap column (a plain
+    sequence, so worker processes can pass it without holding a
+    :class:`~repro.core.joingraph.JoinGraph`).
 
     One fused Hopcroft–Tarjan DFS replaces the scalar path's
     ``find_blocks`` *and* its per-pair grow-lifts: the same lowpoint walk
@@ -117,7 +172,6 @@ def _blocks_and_hangs(graph, target: int):
     (ascending vertex order) hang masks for ``blocks[i]``, or ``None`` when
     the block spans the whole target (the grow-identity fast path).
     """
-    adjacency = graph._adjacency
     root = bms.lowest_bit_index(target)
     visited = 1 << root
     discovery = {root: 0}
@@ -235,35 +289,101 @@ def _blocks_and_hangs(graph, target: int):
     return blocks, hangs
 
 
-class _ArenaSnapshot:
+class Snapshot:
     """Sorted array view of the arena: the filter/evaluate stages' input.
 
     ``masks`` is the sorted key column; ``costs``/``rows`` are aligned with
     it, and ``neighbours`` holds each subset's adjacent-vertex bitmap — the
     precomputed connectivity arrays the CCP mask-filter stage runs against.
-    Built once per DP level (the arena only grows between levels).
+    The four columns are plain contiguous arrays, so the multicore backend
+    can publish them as one ``shared_memory`` segment and workers rebuild an
+    identical snapshot from zero-copy views.
     """
 
-    def __init__(self, arena: PlanArena, graph) -> None:
-        keys, costs, rows = arena.columns()
-        masks = np.fromiter(keys, dtype=np.int64, count=len(keys))
-        order = np.argsort(masks)
-        self.masks = masks[order]
-        self.costs = np.fromiter(costs, dtype=np.float64, count=len(costs))[order]
-        self.rows = np.fromiter(rows, dtype=np.float64, count=len(rows))[order]
-        neighbours = np.zeros_like(self.masks)
-        for vertex in range(graph.n_relations):
-            adjacency = np.int64(graph._adjacency[vertex])
-            member = (self.masks >> np.int64(vertex)) & 1
-            np.bitwise_or(neighbours, np.where(member.astype(bool), adjacency, 0),
-                          out=neighbours)
-        self.neighbours = neighbours & ~self.masks
+    __slots__ = ("masks", "costs", "rows", "neighbours")
+
+    def __init__(self, masks: np.ndarray, costs: np.ndarray,
+                 rows: np.ndarray, neighbours: np.ndarray) -> None:
+        self.masks = masks
+        self.costs = costs
+        self.rows = rows
+        self.neighbours = neighbours
 
     def lookup(self, queries: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
         """Per-query ``(clipped index, found)`` membership via searchsorted."""
         index = np.searchsorted(self.masks, queries)
         index = np.minimum(index, len(self.masks) - 1)
         return index, self.masks[index] == queries
+
+    def lookup_one(self, mask: int) -> Tuple[int, bool]:
+        """Scalar membership probe (the wide-block fallback's path)."""
+        index = int(np.searchsorted(self.masks, mask))
+        if index >= len(self.masks):
+            return len(self.masks) - 1, False
+        return index, int(self.masks[index]) == mask
+
+
+class SnapshotBuilder:
+    """Incremental snapshot state, hoisted into ``KernelState.cache``.
+
+    The neighbour column is a function of each entry's mask alone, and the
+    arena is append-only during a level sweep, so neighbours are computed
+    exactly once per entry — for the suffix the last level appended — instead
+    of being re-derived for the whole table at every level (the old
+    per-level ``_ArenaSnapshot`` loop).  The per-vertex adjacency column is
+    likewise materialised once per run.
+    """
+
+    def __init__(self, graph) -> None:
+        n = graph.n_relations
+        #: Per-vertex neighbour bitmaps as an int64 column (hoisted once).
+        self.adjacency_column = np.fromiter(
+            graph._adjacency, dtype=np.int64, count=n)
+        self._n_bits = n
+        self._masks = np.empty(0, dtype=np.int64)
+        self._neighbours = np.empty(0, dtype=np.int64)
+
+    def neighbours_of(self, masks: np.ndarray) -> np.ndarray:
+        """Neighbour bitmaps of ``masks`` (vectorized union of adjacencies)."""
+        neighbours = np.zeros(len(masks), dtype=np.int64)
+        for vertex in range(self._n_bits):
+            member = ((masks >> np.int64(vertex)) & 1).astype(bool)
+            np.bitwise_or(neighbours,
+                          np.where(member, self.adjacency_column[vertex], 0),
+                          out=neighbours)
+        return neighbours & ~masks
+
+    def refresh(self, arena: PlanArena) -> Snapshot:
+        """Snapshot of the arena's current columns (sorted by mask).
+
+        Cost/row cells of entries appended at the *current* level may still
+        be improved by scalar-fallback ``put`` calls, so those two columns
+        are re-copied per refresh; masks and neighbours are immutable per
+        entry and extend incrementally.
+        """
+        keys, costs, rows = arena.columns()
+        total = len(keys)
+        built = len(self._masks)
+        if total > built:
+            new_masks = np.fromiter(keys[built:], dtype=np.int64,
+                                    count=total - built)
+            self._masks = np.concatenate([self._masks, new_masks])
+            self._neighbours = np.concatenate(
+                [self._neighbours, self.neighbours_of(new_masks)])
+        order = np.argsort(self._masks)
+        costs_arr = np.fromiter(costs, dtype=np.float64, count=total)
+        rows_arr = np.fromiter(rows, dtype=np.float64, count=total)
+        return Snapshot(self._masks[order], costs_arr[order], rows_arr[order],
+                        self._neighbours[order])
+
+
+def snapshot_for(state: KernelState, arena: PlanArena) -> Snapshot:
+    """The run's current arena snapshot, via the state-cached builder."""
+    builder = state.cache.get("snapshot_builder")
+    if builder is None:
+        builder = SnapshotBuilder(state.query.graph)
+        state.cache["snapshot_builder"] = builder
+    return builder.refresh(arena)
 
 
 def _scatter_winners(n_targets: int, tid: np.ndarray, cost: np.ndarray,
@@ -341,18 +461,329 @@ class _RunningWinners:
 
 
 @dataclass
-class _TreeInfo:
+class TreeInfo:
     """Rooted-tree arrays for one scope: the tree unrank stage's input.
 
     Rooting the scope's induced tree once turns every edge split into two
     bitmap ANDs: the component on the child side of edge ``e`` within a
     target ``S`` is ``S & desc[child(e)]`` (the intersection of a connected
-    subtree with a rooted split is exactly the detached component).
+    subtree with a rooted split is exactly the detached component).  Plain
+    small arrays, shipped to multicore workers through the task pipe.
     """
 
     edge_masks: np.ndarray     #: (E,) endpoint bitmaps, graph edge order
     child_desc: np.ndarray     #: (E,) descendant bitmap of the child endpoint
     left_is_child: np.ndarray  #: (E,) True when ``edge.left`` is the child
+
+
+def build_tree_info(graph, scope: int) -> TreeInfo:
+    """Root the induced subtree of ``scope`` and derive the edge-split arrays."""
+    edges = graph.edges_within(scope)
+    adjacency = graph._adjacency
+    root = bms.lowest_bit_index(scope)
+    parent: Dict[int, int] = {root: root}
+    order: List[int] = [root]
+    frontier = [root]
+    while frontier:
+        next_frontier: List[int] = []
+        for vertex in frontier:
+            for child in bms.iter_bits(adjacency[vertex] & scope):
+                if child not in parent:
+                    parent[child] = vertex
+                    order.append(child)
+                    next_frontier.append(child)
+        frontier = next_frontier
+    descendants: Dict[int, int] = {}
+    for vertex in reversed(order):
+        mask = bms.bit(vertex)
+        for child in bms.iter_bits(adjacency[vertex] & scope):
+            if parent.get(child) == vertex and child != vertex:
+                mask |= descendants[child]
+        descendants[vertex] = mask
+    edge_masks = np.empty(len(edges), dtype=np.int64)
+    child_desc = np.empty(len(edges), dtype=np.int64)
+    left_is_child = np.empty(len(edges), dtype=bool)
+    for index, edge in enumerate(edges):
+        edge_masks[index] = edge.mask
+        if parent.get(edge.left) == edge.right:
+            child = edge.left
+            left_is_child[index] = True
+        else:
+            child = edge.right
+            left_is_child[index] = False
+        child_desc[index] = descendants[child]
+    return TreeInfo(edge_masks=edge_masks, child_desc=child_desc,
+                    left_is_child=left_is_child)
+
+
+def tree_info_for(state: KernelState) -> TreeInfo:
+    """The scope's :class:`TreeInfo`, cached on the run's ``KernelState``."""
+    cache: Dict[int, TreeInfo] = state.cache.setdefault("tree_info", {})
+    info = cache.get(state.scope)
+    if info is None:
+        info = build_tree_info(state.query.graph, state.scope)
+        cache[state.scope] = info
+    return info
+
+
+# --------------------------------------------------------------------------- #
+# Shard kernels: one contiguous slice of a level's targets, in or out of
+# process.  Pure functions of (snapshot, model, plain arrays).
+# --------------------------------------------------------------------------- #
+def run_subset_shard(snapshot: Snapshot, model, level: int, n_bits: int,
+                     targets: np.ndarray, out_rows: np.ndarray):
+    """DPsub unrank/filter/evaluate/scatter for one shard of targets.
+
+    Returns ``(best_cost, winner_left, winner_right, ccp_count)`` aligned
+    with ``targets``.
+    """
+    n_splits = (1 << level) - 2
+    dense = _dense_matrix(level)
+    total_ccp = 0
+    parts: List[Tuple[np.ndarray, np.ndarray, np.ndarray]] = []
+    chunk = max(1, _CHUNK_ELEMENTS // n_splits)
+    for start in range(0, len(targets), chunk):
+        tc = targets[start:start + chunk]
+        oc = out_rows[start:start + chunk]
+        weights = np.int64(1) << _bit_positions(tc, level, n_bits)
+        lefts = dense @ weights.T                  # (n_splits, c) unrank
+        rights = tc[None, :] ^ lefts
+        left_idx, left_ok = snapshot.lookup(lefts)     # filter: connected
+        right_idx, right_ok = snapshot.lookup(rights)
+        valid = left_ok & right_ok
+        valid &= (snapshot.neighbours[left_idx] & rights) != 0
+        vrow, vcol = np.nonzero(valid)
+        total_ccp += len(vrow)
+        cost = np.full(lefts.shape, np.inf)
+        li = left_idx[vrow, vcol]
+        ri = right_idx[vrow, vcol]
+        cost[vrow, vcol] = model.cost_batch(           # evaluate
+            snapshot.rows[li], snapshot.costs[li],
+            snapshot.rows[ri], snapshot.costs[ri], oc[vcol])
+        # scatter-min: argmin returns the first (lowest dense rank)
+        # minimal row, matching the scalar first-cheapest-wins order.
+        win = np.argmin(cost, axis=0)
+        cols = np.arange(len(tc))
+        best = cost[win, cols]
+        if not np.all(np.isfinite(best)):
+            raise RuntimeError(
+                "vectorized kernel produced no valid CCP pair for a "
+                "connected set; this indicates a filter-stage bug")
+        parts.append((best, lefts[win, cols], rights[win, cols]))
+    best = np.concatenate([p[0] for p in parts])
+    winner_left = np.concatenate([p[1] for p in parts])
+    winner_right = np.concatenate([p[2] for p in parts])
+    return best, winner_left, winner_right, total_ccp
+
+
+def _fallback_block_entries(snapshot: Snapshot, model,
+                            adjacency: Sequence[int], targets: np.ndarray,
+                            out_rows: np.ndarray, entries,
+                            winners: "_RunningWinners") -> int:
+    """Scalar fallback for blocks too wide for the dense split matrix.
+
+    Works entirely off the snapshot (membership probes stand in for
+    ``is_connected`` — the arena holds exactly the connected subsets of
+    every smaller size — and :func:`_grow` for the lift), so worker
+    processes run it without an :class:`EnumerationContext`.  Folds its
+    candidates into the same running winners the array path merges into.
+    """
+    ccp = 0
+    tids: List[int] = []
+    costs: List[float] = []
+    seqs: List[int] = []
+    lefts: List[int] = []
+    rights: List[int] = []
+    for tid, block, seq_base, _hang in entries:
+        target = int(targets[tid])
+        for rank, left_block in enumerate(bms.iter_proper_nonempty_subsets(block)):
+            right_block = block & ~left_block
+            left_bi, found = snapshot.lookup_one(left_block)
+            if not found:
+                continue
+            _, found = snapshot.lookup_one(right_block)
+            if not found:
+                continue
+            if not int(snapshot.neighbours[left_bi]) & right_block:
+                continue
+            ccp += 1
+            rest = target & ~right_block
+            left = rest if rest == left_block else _grow(adjacency, left_block, rest)
+            right = target & ~left
+            li, left_found = snapshot.lookup_one(left)
+            ri, right_found = snapshot.lookup_one(right)
+            if not (left_found and right_found):
+                raise RuntimeError(
+                    "grow-lift produced an operand missing from the "
+                    "arena; CCP lift invariant violated")
+            tids.append(tid)
+            costs.append(model.join_cost_from_stats(
+                float(snapshot.rows[li]), float(snapshot.costs[li]),
+                float(snapshot.rows[ri]), float(snapshot.costs[ri]),
+                float(out_rows[tid])))
+            seqs.append(seq_base + rank)
+            lefts.append(left)
+            rights.append(right)
+    if tids:
+        winners.merge(np.array(tids, dtype=np.int64),
+                      np.array(costs, dtype=np.float64),
+                      np.array(seqs, dtype=np.int64),
+                      np.array(lefts, dtype=np.int64),
+                      np.array(rights, dtype=np.int64))
+    return ccp
+
+
+def run_block_shard(snapshot: Snapshot, model, adjacency: Sequence[int],
+                    n_bits: int, targets: np.ndarray, out_rows: np.ndarray):
+    """MPDP block splits + grow-lift for one shard of targets.
+
+    Returns ``(best_cost, winner_left, winner_right, ccp_count,
+    evaluated_pairs)`` aligned with ``targets``.  Every target's candidates
+    are wholly inside this shard (sequence bases are per-target), so the
+    shard-local lexicographic winner equals the global one.
+    """
+    n_targets = len(targets)
+
+    # Group the (target, block) work items by block size so every group
+    # shares one dense split matrix; per-item sequence bases preserve the
+    # scalar emission order (target-major, block order, dense rank).
+    #
+    # The grow-lift is precomputed here as per-block-vertex *hang-off*
+    # masks: every connected component of ``S \\ block`` attaches to
+    # exactly one block vertex (a component adjacent to two would extend
+    # the biconnected block), so ``grow(lb, S \\ rb)`` equals ``lb``
+    # plus the hang-offs of lb's vertices — and because hang-offs are
+    # disjoint bitmaps, the lift folds into the same dense matrix
+    # multiply that unranks the splits.  One DFS per target replaces one
+    # scalar BFS grow per valid pair.
+    groups: Dict[int, List[Tuple[int, int, int, Optional[List[int]]]]] = {}
+    total_pairs = 0
+    for tid in range(n_targets):
+        target = int(targets[tid])
+        seq_base = 0
+        blocks, hangs = _blocks_and_hangs(adjacency, target)
+        for block, hang_weights in zip(blocks, hangs):
+            size = bms.popcount(block)
+            groups.setdefault(size, []).append(
+                (tid, block, seq_base, hang_weights))
+            seq_base += (1 << size) - 2
+        total_pairs += seq_base
+
+    # Candidate batches (one per group chunk) fold into running winners
+    # immediately, so transient memory is bounded by the chunk size, not
+    # by the level's total valid-pair count (dense topologies validate
+    # every split).
+    winners = _RunningWinners(n_targets)
+    total_ccp = 0
+
+    for size in sorted(groups):
+        entries = groups[size]
+        if size > _MAX_DENSE_BITS:
+            total_ccp += _fallback_block_entries(
+                snapshot, model, adjacency, targets, out_rows, entries, winners)
+            continue
+        n_splits = (1 << size) - 2
+        dense = _dense_matrix(size)
+        tid_all = np.fromiter((e[0] for e in entries), np.int64, len(entries))
+        blk_all = np.fromiter((e[1] for e in entries), np.int64, len(entries))
+        seq_all = np.fromiter((e[2] for e in entries), np.int64, len(entries))
+        hang_all = np.zeros((len(entries), size), dtype=np.int64)
+        any_hang = False
+        for row, entry in enumerate(entries):
+            if entry[3] is not None:
+                hang_all[row] = entry[3]
+                any_hang = True
+        chunk = max(1, _CHUNK_ELEMENTS // n_splits)
+        for start in range(0, len(entries), chunk):
+            tidc = tid_all[start:start + chunk]
+            blkc = blk_all[start:start + chunk]
+            seqc = seq_all[start:start + chunk]
+            weights = np.int64(1) << _bit_positions(blkc, size, n_bits)
+            left_blocks = dense @ weights.T
+            right_blocks = blkc[None, :] ^ left_blocks
+            lb_idx, lb_ok = snapshot.lookup(left_blocks)
+            rb_idx, rb_ok = snapshot.lookup(right_blocks)
+            valid = lb_ok & rb_ok
+            valid &= (snapshot.neighbours[lb_idx] & right_blocks) != 0
+            vrow, vcol = np.nonzero(valid)
+            if len(vrow) == 0:
+                continue
+            total_ccp += len(vrow)
+            tids = tidc[vcol]
+            target_of = targets[tids]
+            lb = left_blocks[vrow, vcol]
+            # Grow-lift (Algorithm 3, lines 17-18) as one more matrix
+            # multiply: a split's lifted left side is its block vertices
+            # plus their (disjoint) hang-off components.
+            if any_hang:
+                lifted = lb + (dense @ hang_all[start:start + chunk].T)[vrow, vcol]
+            else:
+                lifted = lb
+            left = lifted
+            right = target_of & ~left
+            li, li_ok = snapshot.lookup(left)
+            ri, ri_ok = snapshot.lookup(right)
+            if not (np.all(li_ok) and np.all(ri_ok)):
+                raise RuntimeError(
+                    "grow-lift produced an operand missing from the "
+                    "arena; CCP lift invariant violated")
+            winners.merge(
+                tids,
+                model.cost_batch(
+                    snapshot.rows[li], snapshot.costs[li],
+                    snapshot.rows[ri], snapshot.costs[ri], out_rows[tids]),
+                seqc[vcol] + vrow, left, right)
+
+    best, winner_left, winner_right = winners.finalize()
+    return best, winner_left, winner_right, total_ccp, total_pairs
+
+
+def run_tree_shard(snapshot: Snapshot, model, info: TreeInfo,
+                   targets: np.ndarray, out_rows: np.ndarray):
+    """MPDP:Tree per-edge splits for one shard of targets.
+
+    Returns ``(best_cost, winner_left, winner_right, evaluated_pairs)``;
+    every evaluated pair is a valid CCP pair by construction (Lemmas 1-2).
+    """
+    n_edges = max(1, len(info.edge_masks))
+    total_pairs = 0
+    parts: List[Tuple[np.ndarray, np.ndarray, np.ndarray]] = []
+    chunk = max(1, _CHUNK_ELEMENTS // (2 * n_edges))
+    for start in range(0, len(targets), chunk):
+        tc = targets[start:start + chunk]
+        oc = out_rows[start:start + chunk]
+        within = (tc[:, None] & info.edge_masks[None, :]) == info.edge_masks
+        trow, tcol = np.nonzero(within)
+        total_pairs += 2 * len(trow)
+        target_of = tc[trow]
+        desc = info.child_desc[tcol]
+        # The split of a subtree by one edge: the child-side component is
+        # S & desc[child]; scalar grow() computes exactly this set.
+        left_first = np.where(info.left_is_child[tcol],
+                              target_of & desc, target_of & ~desc)
+        right_first = target_of ^ left_first
+        li, _ = snapshot.lookup(left_first)
+        ri, _ = snapshot.lookup(right_first)
+        out = oc[trow]
+        cost_forward = model.cost_batch(
+            snapshot.rows[li], snapshot.costs[li],
+            snapshot.rows[ri], snapshot.costs[ri], out)
+        cost_swapped = model.cost_batch(
+            snapshot.rows[ri], snapshot.costs[ri],
+            snapshot.rows[li], snapshot.costs[li], out)
+        tid = np.concatenate([trow, trow])
+        cost = np.concatenate([cost_forward, cost_swapped])
+        # Scalar emission interleaves orientations per edge: (L,R) at
+        # 2*edge, (R,L) at 2*edge + 1 (edge indices are scope-global but
+        # order-isomorphic to the per-target edges_within order).
+        seq = np.concatenate([2 * tcol, 2 * tcol + 1])
+        left = np.concatenate([left_first, right_first])
+        right = np.concatenate([right_first, left_first])
+        parts.append(_scatter_winners(len(tc), tid, cost, seq, left, right))
+    best = np.concatenate([p[0] for p in parts])
+    winner_left = np.concatenate([p[1] for p in parts])
+    winner_right = np.concatenate([p[2] for p in parts])
+    return best, winner_left, winner_right, total_pairs
 
 
 class VectorizedBackend(KernelBackend):
@@ -362,7 +793,6 @@ class VectorizedBackend(KernelBackend):
 
     def __init__(self) -> None:
         self._scalar = ScalarBackend()
-        self._tree_cache: Dict[int, _TreeInfo] = {}
 
     def create_table(self, query: QueryInfo) -> PlanArena:
         return PlanArena(query)
@@ -387,44 +817,14 @@ class VectorizedBackend(KernelBackend):
             self._scalar.run_subset_level(state, level, targets)
             return
         query, stats = state.query, state.stats
-        model = query.cost_model
-        snapshot = _ArenaSnapshot(arena, query.graph)
-        n_bits = query.graph.n_relations
-        n_splits = (1 << level) - 2
-        dense = _dense_matrix(level)
+        snapshot = snapshot_for(state, arena)
         target_arr = np.fromiter(targets, dtype=np.int64, count=len(targets))
         out_rows = np.asarray(query.rows_batch(target_arr), dtype=np.float64)
-        total_ccp = 0
-        chunk = max(1, _CHUNK_ELEMENTS // n_splits)
-        for start in range(0, len(target_arr), chunk):
-            tc = target_arr[start:start + chunk]
-            oc = out_rows[start:start + chunk]
-            weights = np.int64(1) << _bit_positions(tc, level, n_bits)
-            lefts = dense @ weights.T                  # (n_splits, c) unrank
-            rights = tc[None, :] ^ lefts
-            left_idx, left_ok = snapshot.lookup(lefts)     # filter: connected
-            right_idx, right_ok = snapshot.lookup(rights)
-            valid = left_ok & right_ok
-            valid &= (snapshot.neighbours[left_idx] & rights) != 0
-            vrow, vcol = np.nonzero(valid)
-            total_ccp += len(vrow)
-            cost = np.full(lefts.shape, np.inf)
-            li = left_idx[vrow, vcol]
-            ri = right_idx[vrow, vcol]
-            cost[vrow, vcol] = model.cost_batch(           # evaluate
-                snapshot.rows[li], snapshot.costs[li],
-                snapshot.rows[ri], snapshot.costs[ri], oc[vcol])
-            # scatter-min: argmin returns the first (lowest dense rank)
-            # minimal row, matching the scalar first-cheapest-wins order.
-            win = np.argmin(cost, axis=0)
-            cols = np.arange(len(tc))
-            best = cost[win, cols]
-            if not np.all(np.isfinite(best)):
-                raise RuntimeError(
-                    "vectorized kernel produced no valid CCP pair for a "
-                    "connected set; this indicates a filter-stage bug")
-            arena.record_level(tc, best, oc, lefts[win, cols], rights[win, cols])
-        stats.record_pairs(level, len(target_arr) * n_splits, total_ccp)
+        best, winner_left, winner_right, total_ccp = run_subset_shard(
+            snapshot, query.cost_model, level, query.graph.n_relations,
+            target_arr, out_rows)
+        stats.record_pairs(level, len(target_arr) * ((1 << level) - 2), total_ccp)
+        arena.record_level(target_arr, best, out_rows, winner_left, winner_right)
 
     # ------------------------------------------------------------------ #
     # MPDP: block-restricted splits plus the grow-lift
@@ -434,250 +834,33 @@ class VectorizedBackend(KernelBackend):
         if not targets:
             return
         arena = self._arena(state)
-        query, context, stats = state.query, state.context, state.stats
-        model = query.cost_model
-        snapshot = _ArenaSnapshot(arena, query.graph)
-        n_bits = query.graph.n_relations
+        query, stats = state.query, state.stats
+        snapshot = snapshot_for(state, arena)
         target_arr = np.fromiter(targets, dtype=np.int64, count=len(targets))
         out_rows = np.asarray(query.rows_batch(target_arr), dtype=np.float64)
-        n_targets = len(targets)
-
-        # Group the (target, block) work items by block size so every group
-        # shares one dense split matrix; per-item sequence bases preserve the
-        # scalar emission order (target-major, block order, dense rank).
-        #
-        # The grow-lift is precomputed here as per-block-vertex *hang-off*
-        # masks: every connected component of ``S \\ block`` attaches to
-        # exactly one block vertex (a component adjacent to two would extend
-        # the biconnected block), so ``grow(lb, S \\ rb)`` equals ``lb``
-        # plus the hang-offs of lb's vertices — and because hang-offs are
-        # disjoint bitmaps, the lift folds into the same dense matrix
-        # multiply that unranks the splits.  One DFS per target replaces one
-        # scalar BFS grow per valid pair.
-        groups: Dict[int, List[Tuple[int, int, int, Optional[List[int]]]]] = {}
-        total_pairs = 0
-        graph = query.graph
-        for tid, target in enumerate(targets):
-            seq_base = 0
-            blocks, hangs = _blocks_and_hangs(graph, target)
-            for block, hang_weights in zip(blocks, hangs):
-                size = bms.popcount(block)
-                groups.setdefault(size, []).append(
-                    (tid, block, seq_base, hang_weights))
-                seq_base += (1 << size) - 2
-            total_pairs += seq_base
-
-        # Candidate batches (one per group chunk) fold into running winners
-        # immediately, so transient memory is bounded by the chunk size, not
-        # by the level's total valid-pair count (dense topologies validate
-        # every split).
-        winners = _RunningWinners(n_targets)
-        total_ccp = 0
-
-        for size in sorted(groups):
-            entries = groups[size]
-            if size > _MAX_DENSE_BITS:
-                total_ccp += self._scalar_block_entries(
-                    state, target_arr, out_rows, entries, winners)
-                continue
-            n_splits = (1 << size) - 2
-            dense = _dense_matrix(size)
-            tid_all = np.fromiter((e[0] for e in entries), np.int64, len(entries))
-            blk_all = np.fromiter((e[1] for e in entries), np.int64, len(entries))
-            seq_all = np.fromiter((e[2] for e in entries), np.int64, len(entries))
-            hang_all = np.zeros((len(entries), size), dtype=np.int64)
-            any_hang = False
-            for row, entry in enumerate(entries):
-                if entry[3] is not None:
-                    hang_all[row] = entry[3]
-                    any_hang = True
-            chunk = max(1, _CHUNK_ELEMENTS // n_splits)
-            for start in range(0, len(entries), chunk):
-                tidc = tid_all[start:start + chunk]
-                blkc = blk_all[start:start + chunk]
-                seqc = seq_all[start:start + chunk]
-                weights = np.int64(1) << _bit_positions(blkc, size, n_bits)
-                left_blocks = dense @ weights.T
-                right_blocks = blkc[None, :] ^ left_blocks
-                lb_idx, lb_ok = snapshot.lookup(left_blocks)
-                rb_idx, rb_ok = snapshot.lookup(right_blocks)
-                valid = lb_ok & rb_ok
-                valid &= (snapshot.neighbours[lb_idx] & right_blocks) != 0
-                vrow, vcol = np.nonzero(valid)
-                if len(vrow) == 0:
-                    continue
-                total_ccp += len(vrow)
-                tids = tidc[vcol]
-                target_of = target_arr[tids]
-                lb = left_blocks[vrow, vcol]
-                # Grow-lift (Algorithm 3, lines 17-18) as one more matrix
-                # multiply: a split's lifted left side is its block vertices
-                # plus their (disjoint) hang-off components.
-                if any_hang:
-                    lifted = lb + (dense @ hang_all[start:start + chunk].T)[vrow, vcol]
-                else:
-                    lifted = lb
-                left = lifted
-                right = target_of & ~left
-                li, li_ok = snapshot.lookup(left)
-                ri, ri_ok = snapshot.lookup(right)
-                if not (np.all(li_ok) and np.all(ri_ok)):
-                    raise RuntimeError(
-                        "grow-lift produced an operand missing from the "
-                        "arena; CCP lift invariant violated")
-                winners.merge(
-                    tids,
-                    model.cost_batch(
-                        snapshot.rows[li], snapshot.costs[li],
-                        snapshot.rows[ri], snapshot.costs[ri], out_rows[tids]),
-                    seqc[vcol] + vrow, left, right)
-
+        best, winner_left, winner_right, total_ccp, total_pairs = run_block_shard(
+            snapshot, query.cost_model, query.graph._adjacency,
+            query.graph.n_relations, target_arr, out_rows)
         stats.record_pairs(level, total_pairs, total_ccp)
-        best, winner_left, winner_right = winners.finalize()
         arena.record_level(target_arr, best, out_rows, winner_left, winner_right)
-
-    def _scalar_block_entries(self, state: KernelState, target_arr, out_rows,
-                              entries, winners: "_RunningWinners") -> int:
-        """Scalar fallback for blocks too wide for the dense split matrix.
-
-        Folds its candidates into the same running winners the array path
-        merges into, so the final selection treats both uniformly.
-        """
-        context = state.context
-        arena = self._arena(state)
-        model = state.query.cost_model
-        ccp = 0
-        tids: List[int] = []
-        costs: List[float] = []
-        seqs: List[int] = []
-        lefts: List[int] = []
-        rights: List[int] = []
-        for tid, block, seq_base, _hang in entries:
-            target = int(target_arr[tid])
-            for rank, left_block in enumerate(bms.iter_proper_nonempty_subsets(block)):
-                right_block = block & ~left_block
-                if not context.is_connected(left_block):
-                    continue
-                if not context.is_connected(right_block):
-                    continue
-                if not context.is_connected_to(left_block, right_block):
-                    continue
-                ccp += 1
-                rest = target & ~right_block
-                left = rest if rest == left_block else context.grow(left_block, rest)
-                right = target & ~left
-                tids.append(tid)
-                costs.append(model.join_cost_from_stats(
-                    arena.rows_of(left), arena.cost_of(left),
-                    arena.rows_of(right), arena.cost_of(right),
-                    float(out_rows[tid])))
-                seqs.append(seq_base + rank)
-                lefts.append(left)
-                rights.append(right)
-        if tids:
-            winners.merge(np.array(tids, dtype=np.int64),
-                          np.array(costs, dtype=np.float64),
-                          np.array(seqs, dtype=np.int64),
-                          np.array(lefts, dtype=np.int64),
-                          np.array(rights, dtype=np.int64))
-        return ccp
 
     # ------------------------------------------------------------------ #
     # MPDP:Tree: per-edge subtree splits
     # ------------------------------------------------------------------ #
-    def _tree_info(self, state: KernelState) -> _TreeInfo:
-        info = self._tree_cache.get(state.scope)
-        if info is not None:
-            return info
-        graph = state.query.graph
-        scope = state.scope
-        edges = graph.edges_within(scope)
-        adjacency = graph._adjacency
-        root = bms.lowest_bit_index(scope)
-        parent: Dict[int, int] = {root: root}
-        order: List[int] = [root]
-        frontier = [root]
-        while frontier:
-            next_frontier: List[int] = []
-            for vertex in frontier:
-                for child in bms.iter_bits(adjacency[vertex] & scope):
-                    if child not in parent:
-                        parent[child] = vertex
-                        order.append(child)
-                        next_frontier.append(child)
-            frontier = next_frontier
-        descendants: Dict[int, int] = {}
-        for vertex in reversed(order):
-            mask = bms.bit(vertex)
-            for child in bms.iter_bits(adjacency[vertex] & scope):
-                if parent.get(child) == vertex and child != vertex:
-                    mask |= descendants[child]
-            descendants[vertex] = mask
-        edge_masks = np.empty(len(edges), dtype=np.int64)
-        child_desc = np.empty(len(edges), dtype=np.int64)
-        left_is_child = np.empty(len(edges), dtype=bool)
-        for index, edge in enumerate(edges):
-            edge_masks[index] = edge.mask
-            if parent.get(edge.left) == edge.right:
-                child = edge.left
-                left_is_child[index] = True
-            else:
-                child = edge.right
-                left_is_child[index] = False
-            child_desc[index] = descendants[child]
-        info = _TreeInfo(edge_masks=edge_masks, child_desc=child_desc,
-                         left_is_child=left_is_child)
-        self._tree_cache[state.scope] = info
-        return info
-
     def run_tree_level(self, state: KernelState, level: int,
                        targets: Sequence[int]) -> None:
         if not targets:
             return
         arena = self._arena(state)
         query, stats = state.query, state.stats
-        model = query.cost_model
-        snapshot = _ArenaSnapshot(arena, query.graph)
-        info = self._tree_info(state)
-        n_edges = max(1, len(info.edge_masks))
+        snapshot = snapshot_for(state, arena)
+        info = tree_info_for(state)
         target_arr = np.fromiter(targets, dtype=np.int64, count=len(targets))
         out_rows = np.asarray(query.rows_batch(target_arr), dtype=np.float64)
-        total_pairs = 0
-        chunk = max(1, _CHUNK_ELEMENTS // (2 * n_edges))
-        for start in range(0, len(target_arr), chunk):
-            tc = target_arr[start:start + chunk]
-            oc = out_rows[start:start + chunk]
-            within = (tc[:, None] & info.edge_masks[None, :]) == info.edge_masks
-            trow, tcol = np.nonzero(within)
-            total_pairs += 2 * len(trow)
-            target_of = tc[trow]
-            desc = info.child_desc[tcol]
-            # The split of a subtree by one edge: the child-side component is
-            # S & desc[child]; scalar grow() computes exactly this set.
-            left_first = np.where(info.left_is_child[tcol],
-                                  target_of & desc, target_of & ~desc)
-            right_first = target_of ^ left_first
-            li, _ = snapshot.lookup(left_first)
-            ri, _ = snapshot.lookup(right_first)
-            out = oc[trow]
-            cost_forward = model.cost_batch(
-                snapshot.rows[li], snapshot.costs[li],
-                snapshot.rows[ri], snapshot.costs[ri], out)
-            cost_swapped = model.cost_batch(
-                snapshot.rows[ri], snapshot.costs[ri],
-                snapshot.rows[li], snapshot.costs[li], out)
-            tid = np.concatenate([trow, trow])
-            cost = np.concatenate([cost_forward, cost_swapped])
-            # Scalar emission interleaves orientations per edge: (L,R) at
-            # 2*edge, (R,L) at 2*edge + 1 (edge indices are scope-global but
-            # order-isomorphic to the per-target edges_within order).
-            seq = np.concatenate([2 * tcol, 2 * tcol + 1])
-            left = np.concatenate([left_first, right_first])
-            right = np.concatenate([right_first, left_first])
-            best, winner_left, winner_right = _scatter_winners(
-                len(tc), tid, cost, seq, left, right)
-            arena.record_level(tc, best, oc, winner_left, winner_right)
+        best, winner_left, winner_right, total_pairs = run_tree_shard(
+            snapshot, query.cost_model, info, target_arr, out_rows)
         stats.record_pairs(level, total_pairs, total_pairs)
+        arena.record_level(target_arr, best, out_rows, winner_left, winner_right)
 
     # ------------------------------------------------------------------ #
     # DPsize: cross products of memoised plan sizes
@@ -686,7 +869,7 @@ class VectorizedBackend(KernelBackend):
         arena = self._arena(state)
         query, stats = state.query, state.stats
         model = query.cost_model
-        snapshot = _ArenaSnapshot(arena, query.graph)
+        snapshot = snapshot_for(state, arena)
         parts: List[Tuple[np.ndarray, ...]] = []
         total_pairs = 0
         total_ccp = 0

@@ -213,3 +213,30 @@ class GPUPipelineModel:
             breakdown.per_level[level] = level_seconds
 
         return breakdown
+
+    def compare_to_measurement(self, stats: OptimizerStats, n_relations: int,
+                               measured_seconds: float,
+                               average_hash_probes: float = 1.2,
+                               ) -> Dict[str, float]:
+        """Simulated-vs-measured comparison record for one run.
+
+        Since the multicore kernel backend produces *real* wall-clock
+        numbers for the same per-level batches this model charges, the
+        simulated device time can be put side by side with a measured CPU
+        time (``benchmarks/bench_fig12_real_scalability.py`` records both).
+        Returns the simulated total, the measurement, and their ratio
+        (``measured / simulated`` — how many simulated-device units one
+        real-CPU second buys; not a validity score, the two run on
+        different hardware models by design).
+        """
+        if measured_seconds <= 0.0:
+            raise ValueError("measured_seconds must be positive")
+        breakdown = self.simulate(stats, n_relations,
+                                  average_hash_probes=average_hash_probes)
+        simulated = breakdown.total
+        return {
+            "simulated_seconds": simulated,
+            "measured_seconds": measured_seconds,
+            "measured_over_simulated": (measured_seconds / simulated
+                                        if simulated > 0.0 else float("inf")),
+        }

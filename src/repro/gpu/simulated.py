@@ -125,8 +125,8 @@ class MPDPGpu(GPUSimulatedOptimizer):
 
     def __init__(self, device: GPUDeviceSpec = GTX_1080, kernel_fusion: bool = True,
                  collaborative_context_collection: bool = True,
-                 backend: str = "scalar"):
-        super().__init__(MPDP(backend=backend), device=device,
+                 backend: str = "scalar", workers: Optional[int] = None):
+        super().__init__(MPDP(backend=backend, workers=workers), device=device,
                          kernel_fusion=kernel_fusion,
                          collaborative_context_collection=collaborative_context_collection,
                          name="MPDP (GPU)")
@@ -135,21 +135,24 @@ class MPDPGpu(GPUSimulatedOptimizer):
 class DPSubGpu(GPUSimulatedOptimizer):
     """DPsub under the GPU model (Meister & Saake's COMB-GPU baseline)."""
 
-    def __init__(self, device: GPUDeviceSpec = GTX_1080, backend: str = "scalar"):
+    def __init__(self, device: GPUDeviceSpec = GTX_1080, backend: str = "scalar",
+                 workers: Optional[int] = None):
         # The baseline from prior work uses a separate prune kernel and plain
         # 'if'-based filtering, i.e. neither of the paper's two enhancements —
         # and it unranks every C(n, level) combination per level, so the
         # inner DPsub runs the GPU-literal unrank+filter mode: its recorded
         # per-level candidate batches (``stats.level_considered``) are the
         # full combination counts the pipeline model charges.
-        super().__init__(DPSub(unrank_filter=True, backend=backend), device=device,
-                         kernel_fusion=False,
+        super().__init__(DPSub(unrank_filter=True, backend=backend, workers=workers),
+                         device=device, kernel_fusion=False,
                          collaborative_context_collection=False, name="DPsub (GPU)")
 
 
 class DPSizeGpu(GPUSimulatedOptimizer):
     """DPsize under the GPU model (Meister & Saake's H+F-GPU baseline)."""
 
-    def __init__(self, device: GPUDeviceSpec = GTX_1080, backend: str = "scalar"):
-        super().__init__(DPSize(backend=backend), device=device, kernel_fusion=False,
+    def __init__(self, device: GPUDeviceSpec = GTX_1080, backend: str = "scalar",
+                 workers: Optional[int] = None):
+        super().__init__(DPSize(backend=backend, workers=workers), device=device,
+                         kernel_fusion=False,
                          collaborative_context_collection=False, name="DPsize (GPU)")

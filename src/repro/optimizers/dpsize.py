@@ -18,6 +18,8 @@ vectorized cross-product grid with mask filters and one ``cost_batch`` call
 
 from __future__ import annotations
 
+from typing import Optional
+
 from ..core import bitmapset as bms
 from ..core.counters import OptimizerStats
 from ..core.enumeration import EnumerationContext
@@ -39,8 +41,8 @@ class DPSize(KernelOptimizerMixin, JoinOrderOptimizer):
     execution_style = "level_parallel"
     max_relations = 14
 
-    def __init__(self, backend: str = "scalar"):
-        self._init_backend(backend)
+    def __init__(self, backend: str = "scalar", workers: Optional[int] = None):
+        self._init_backend(backend, workers)
 
     def _run(self, query: QueryInfo, subset: int,
              memo: MemoTable, stats: OptimizerStats) -> Plan:

@@ -28,7 +28,7 @@ Two candidate-set enumeration modes are provided:
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Optional, Tuple
 
 from ..core import bitmapset as bms
 from ..core.counters import OptimizerStats
@@ -51,9 +51,10 @@ class DPSub(KernelOptimizerMixin, JoinOrderOptimizer):
     execution_style = "level_parallel"
     max_relations = 16
 
-    def __init__(self, unrank_filter: bool = False, backend: str = "scalar"):
+    def __init__(self, unrank_filter: bool = False, backend: str = "scalar",
+                 workers: Optional[int] = None):
         self.unrank_filter = unrank_filter
-        self._init_backend(backend)
+        self._init_backend(backend, workers)
 
     def _level_targets(self, query: QueryInfo, subset: int, size: int,
                        stats: OptimizerStats) -> Tuple[int, ...]:

@@ -60,8 +60,8 @@ class MPDP(KernelOptimizerMixin, JoinOrderOptimizer):
     execution_style = "level_parallel"
     max_relations = 25
 
-    def __init__(self, backend: str = "scalar"):
-        self._init_backend(backend)
+    def __init__(self, backend: str = "scalar", workers: Optional[int] = None):
+        self._init_backend(backend, workers)
 
     def _level_targets(self, query: QueryInfo, subset: int, size: int) -> Tuple[int, ...]:
         return EnumerationContext.of(query.graph).connected_subsets(size, within=subset)
@@ -101,8 +101,8 @@ class MPDPTree(KernelOptimizerMixin, JoinOrderOptimizer):
     supported_shapes = ACYCLIC_SHAPES
     max_relations = 30
 
-    def __init__(self, backend: str = "scalar"):
-        self._init_backend(backend)
+    def __init__(self, backend: str = "scalar", workers: Optional[int] = None):
+        self._init_backend(backend, workers)
 
     def _run(self, query: QueryInfo, subset: int,
              memo: MemoTable, stats: OptimizerStats) -> Plan:

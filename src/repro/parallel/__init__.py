@@ -1,5 +1,17 @@
 """Multi-core CPU parallel-time models (MPDP CPU, PDP, DPE)."""
 
-from .model import CPUCostConstants, ParallelCPUModel, speedup_curve
+from .model import (
+    CPUCostConstants,
+    ParallelCPUModel,
+    curve_shape_divergence,
+    measured_speedup_curve,
+    speedup_curve,
+)
 
-__all__ = ["CPUCostConstants", "ParallelCPUModel", "speedup_curve"]
+__all__ = [
+    "CPUCostConstants",
+    "ParallelCPUModel",
+    "curve_shape_divergence",
+    "measured_speedup_curve",
+    "speedup_curve",
+]

@@ -31,17 +31,39 @@ count ``t``:
 
 The model never changes which plan is produced; it only assigns a simulated
 wall-clock time to the work an optimizer has already done.
+
+Calibration against reality
+---------------------------
+
+Since the multicore kernel backend (:mod:`repro.exec.multicore`) executes DP
+levels across real worker processes, the simulated curves can be checked
+against *measured* wall-clock speedups
+(``benchmarks/bench_fig12_real_scalability.py``).  Three hooks support
+that: :func:`measured_speedup_curve` turns raw per-worker wall-clock times
+into a Figure 12-style speedup curve, :func:`curve_shape_divergence`
+quantifies how far two normalised curves diverge (max absolute log-ratio —
+0.0 means identical shape, 0.3 means one curve is at worst ~35% off), and
+:meth:`ParallelCPUModel.fit_contention` re-fits the model's contention
+factor to a measured curve, which is how the shipped constants were
+sanity-checked.
 """
 
 from __future__ import annotations
 
+import math
 import warnings
-from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional
+from dataclasses import dataclass, replace
+from typing import Dict, Iterable, List, Mapping, Optional
 
 from ..core.counters import OptimizerStats
 
-__all__ = ["CPUCostConstants", "ParallelCPUModel", "speedup_curve"]
+__all__ = [
+    "CPUCostConstants",
+    "ParallelCPUModel",
+    "speedup_curve",
+    "measured_speedup_curve",
+    "curve_shape_divergence",
+]
 
 
 @dataclass(frozen=True)
@@ -149,6 +171,39 @@ class ParallelCPUModel:
             return self.producer_consumer_time(stats, threads)
         return self.level_parallel_time(stats, threads)
 
+    def fit_contention(self, stats: OptimizerStats,
+                       measured: Mapping[int, float], *,
+                       execution_style: str = "level_parallel",
+                       grid: Optional[Iterable[float]] = None,
+                       ) -> "ParallelCPUModel":
+        """A copy of this model with ``contention_factor`` re-fit to reality.
+
+        ``measured`` maps worker counts to *measured* speedups over the
+        one-worker run (see :func:`measured_speedup_curve`).  The factor is
+        chosen from ``grid`` (default: 0.00 .. 0.50 in steps of 0.005) to
+        minimise the summed squared log-ratio between the simulated and
+        measured speedup curves on the measured worker counts — log space,
+        so relative (not absolute) deviations are penalised, matching how
+        Figure 12 curves are read.
+        """
+        if not measured:
+            raise ValueError("fit_contention needs at least one measured point")
+        candidates = (tuple(grid) if grid is not None
+                      else tuple(step * 0.005 for step in range(101)))
+        best_factor = self.contention_factor
+        best_error = math.inf
+        for factor in candidates:
+            model = replace(self, contention_factor=factor)
+            curve = speedup_curve(model, stats, thread_counts=measured.keys(),
+                                  execution_style=execution_style)
+            error = sum(
+                math.log(curve[threads] / measured[threads]) ** 2
+                for threads in measured)
+            if error < best_error:
+                best_error = error
+                best_factor = factor
+        return replace(self, contention_factor=best_factor)
+
     @staticmethod
     def _resolve_style(algorithm: str) -> str:
         from ..planner.registry import DEFAULT_REGISTRY
@@ -196,3 +251,38 @@ def speedup_curve(model: ParallelCPUModel, stats: OptimizerStats,
         curve[threads] = baseline / model.simulate(
             stats, threads, execution_style=execution_style)
     return curve
+
+
+def measured_speedup_curve(wall_times: Mapping[int, float]) -> Dict[int, float]:
+    """Measured wall-clock times per worker count -> Figure 12 speedups.
+
+    Normalised to the *smallest* measured worker count (the paper normalises
+    to one thread; pass a 1-worker time to match it exactly).
+    """
+    if not wall_times:
+        raise ValueError("need at least one measured wall-clock time")
+    baseline = wall_times[min(wall_times)]
+    return {workers: baseline / seconds
+            for workers, seconds in wall_times.items()}
+
+
+def curve_shape_divergence(simulated: Mapping[int, float],
+                           measured: Mapping[int, float]) -> float:
+    """Shape disagreement of two speedup curves: max absolute log-ratio.
+
+    Both curves are re-normalised to their value at the smallest *common*
+    worker count, so a constant factor between them (e.g. per-level IPC
+    overhead the simulation does not charge) does not count as shape
+    divergence — only differing curvature (saturation behaviour) does.
+    Returns ``inf`` when the curves share no worker counts.
+    """
+    common = sorted(set(simulated) & set(measured))
+    if not common:
+        return math.inf
+    base = common[0]
+    divergence = 0.0
+    for threads in common:
+        sim = simulated[threads] / simulated[base]
+        meas = measured[threads] / measured[base]
+        divergence = max(divergence, abs(math.log(sim / meas)))
+    return divergence

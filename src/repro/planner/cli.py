@@ -53,12 +53,17 @@ def build_parser() -> argparse.ArgumentParser:
                              "catalog (default: 1e6)")
     parser.add_argument("--time-budget", type=float, default=None,
                         help="per-query optimization budget in seconds")
-    parser.add_argument("--backend", choices=("scalar", "vectorized", "auto"),
+    parser.add_argument("--backend",
+                        choices=("scalar", "vectorized", "multicore", "auto"),
                         default="auto",
                         help="kernel execution backend for the DP inner loops "
-                             "(default: auto — vectorized numpy kernels for "
-                             "large queries, scalar loops for small ones); "
-                             "plans are identical either way")
+                             "(default: auto — multicore worker processes or "
+                             "vectorized numpy kernels for large queries, "
+                             "scalar loops for small ones); plans are "
+                             "identical either way")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="worker-process count for the multicore backend "
+                             "(default: one per usable CPU; must be >= 1)")
     parser.add_argument("--no-plan", action="store_true",
                         help="print the routing decision only, not the plan tree")
     return parser
@@ -132,7 +137,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         planned = plan_sql(
             sql, catalog,
             planner=AdaptivePlanner(time_budget_seconds=args.time_budget,
-                                    backend=args.backend),
+                                    backend=args.backend,
+                                    workers=args.workers),
         )
     except (SQLParseError, OptimizationError, ValueError) as error:
         # OptimizationError covers plannable-looking text the optimizers
@@ -149,7 +155,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"shape     : {decision.shape}")
         print(f"signature : {decision.signature}")
         print(f"algorithm : {decision.algorithm}")
-        print(f"backend   : {decision.backend}")
+        print(f"backend   : {decision.backend}"
+              + (f" (workers={decision.workers})"
+                 if decision.workers is not None else ""))
         print(f"reason    : {decision.reason}")
         print(f"plan cost : {planned.outcome.cost:,.1f}")
         print(f"planned in: {decision.elapsed_seconds * 1e3:.2f} ms")

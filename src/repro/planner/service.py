@@ -36,7 +36,7 @@ from ..core.counters import OptimizerStats
 from ..core.plan import Plan
 from ..core.query import QueryInfo
 from ..core.shapes import SHAPE_DISCONNECTED
-from ..exec import BACKEND_NAMES
+from ..exec import BACKEND_NAMES, validate_workers
 from ..optimizers.base import JoinOrderOptimizer, OptimizationError, PlanResult
 from .cache import PlanCache
 from .classifier import QueryClassifier, QueryProfile, structural_signature
@@ -64,9 +64,12 @@ class PlannerDecision:
     shape: str
     n_relations: int
     #: The planner's kernel-backend policy (``scalar``/``vectorized``/
-    #: ``auto``) handed to backend-capable rungs.  Backends never change
-    #: plans or counters, only where the optimization time goes.
+    #: ``multicore``/``auto``) handed to backend-capable rungs.  Backends
+    #: never change plans or counters, only where the optimization time goes.
     backend: str = "scalar"
+    #: Worker-process count handed to the multicore backend (``None`` = one
+    #: per usable CPU; irrelevant to the in-process backends).
+    workers: Optional[int] = None
     #: The full ladder considered for this query, best rung first.
     ladder: Tuple[str, ...] = ()
     #: Rungs skipped before running because they blew the budget on an
@@ -146,10 +149,16 @@ class AdaptivePlanner:
         backend: kernel execution backend handed to rungs that support one
             (the level-parallel exact algorithms): ``"scalar"`` forces the
             reference loops, ``"vectorized"`` the batched numpy kernels,
-            and ``"auto"`` (default) lets each run pick by query size (see
-            :data:`repro.exec.AUTO_VECTORIZE_MIN_RELATIONS`).  Plans,
+            ``"multicore"`` the sharded worker-process kernels, and
+            ``"auto"`` (default) lets each run pick by query size and
+            machine (see :data:`repro.exec.AUTO_VECTORIZE_MIN_RELATIONS`
+            and :data:`repro.exec.AUTO_MULTICORE_MIN_RELATIONS`; the
+            multicore backend additionally falls back to the in-process
+            kernels for levels below its break-even batch size).  Plans,
             costs and counters are bit-identical across backends, so this
             knob only moves optimization time.
+        workers: worker-process count for the multicore backend (``None``
+            = one per usable CPU).  Must be a positive integer.
     """
 
     def __init__(
@@ -165,6 +174,7 @@ class AdaptivePlanner:
         lindp_threshold: int = 300,
         idp_k: int = 10,
         backend: str = "auto",
+        workers: Optional[int] = None,
     ):
         if not (2 <= exact_threshold <= tree_threshold <= idp_threshold <= lindp_threshold):
             raise ValueError(
@@ -173,6 +183,7 @@ class AdaptivePlanner:
             raise ValueError(
                 f"unknown kernel backend {backend!r}; choose one of "
                 f"{', '.join(BACKEND_NAMES)}")
+        validate_workers(workers)
         self.registry = registry if registry is not None else DEFAULT_REGISTRY
         missing = [rung for rung in (_LADDER_EXACT_TREE, _LADDER_EXACT,
                                      _LADDER_IDP, _LADDER_LINDP, _LADDER_GOO)
@@ -192,6 +203,7 @@ class AdaptivePlanner:
         self.lindp_threshold = lindp_threshold
         self.idp_k = idp_k
         self.backend = backend
+        self.workers = workers
         #: Folded into every cache key: two planners may share a PlanCache,
         #: and entries must never cross routing policies (a heuristic-leaning
         #: planner's GOO plan is the wrong answer for a default planner).
@@ -244,7 +256,8 @@ class AdaptivePlanner:
 
     def _create_rung(self, rung: str) -> JoinOrderOptimizer:
         if self.registry.capabilities(rung).supports_backend("vectorized"):
-            return self.registry.create(rung, backend=self.backend)
+            return self.registry.create(rung, backend=self.backend,
+                                        workers=self.workers)
         if rung == _LADDER_IDP:
             return self.registry.create(rung, k=self.idp_k)
         if rung == _LADDER_LINDP:
@@ -389,6 +402,7 @@ class AdaptivePlanner:
             algorithm=chosen,
             signature=signature,
             backend=self.backend,
+            workers=self.workers,
             shape=profile.shape,
             n_relations=n,
             ladder=tuple(ladder),

@@ -46,39 +46,48 @@ class PlannedSQL:
 
 
 def _resolve_planner(planner: Optional[AdaptivePlanner],
-                     backend: Optional[str]) -> AdaptivePlanner:
+                     backend: Optional[str],
+                     workers: Optional[int] = None) -> AdaptivePlanner:
     """The planner a front-door call will use.
 
-    ``backend`` configures a *fresh* planner's kernel execution backend; an
-    explicit ``planner`` already carries its own backend policy, so passing
-    both is rejected rather than silently ignoring one.
+    ``backend`` and ``workers`` configure a *fresh* planner's kernel
+    execution backend; an explicit ``planner`` already carries its own
+    backend policy, so passing both is rejected rather than silently
+    ignoring one.
     """
     if planner is not None:
-        if backend is not None:
+        if backend is not None or workers is not None:
             raise ValueError(
-                "pass backend= only when the front door creates the planner; "
-                "an explicit planner already carries its backend policy")
+                "pass backend=/workers= only when the front door creates the "
+                "planner; an explicit planner already carries its backend "
+                "policy")
         return planner
-    if backend is None:
-        return AdaptivePlanner()
-    return AdaptivePlanner(backend=backend)
+    kwargs = {}
+    if backend is not None:
+        kwargs["backend"] = backend
+    if workers is not None:
+        kwargs["workers"] = workers
+    return AdaptivePlanner(**kwargs)
 
 
 def plan_sql(sql: str, catalog: Catalog,
              planner: Optional[AdaptivePlanner] = None,
              cost_model: Optional[CostModel] = None,
              name: Optional[str] = None,
-             backend: Optional[str] = None) -> PlannedSQL:
+             backend: Optional[str] = None,
+             workers: Optional[int] = None) -> PlannedSQL:
     """Parse ``sql`` against ``catalog`` and plan it through the planner.
 
     A fresh :class:`AdaptivePlanner` is created when none is given, but
     callers that issue more than one statement should pass a shared planner
     so its plan cache and budget memory carry across calls.  ``backend``
-    selects the kernel execution backend (``scalar``/``vectorized``/``auto``)
-    of that fresh planner; it cannot be combined with an explicit
-    ``planner``, which already carries its own backend policy.
+    selects the kernel execution backend
+    (``scalar``/``vectorized``/``multicore``/``auto``) of that fresh
+    planner and ``workers`` its multicore worker count; neither can be
+    combined with an explicit ``planner``, which already carries its own
+    backend policy.
     """
-    planner = _resolve_planner(planner, backend)
+    planner = _resolve_planner(planner, backend, workers)
     parsed = parse_join_query(sql, catalog, cost_model=cost_model, name=name)
     return PlannedSQL(parsed=parsed, outcome=planner.plan(parsed.query))
 
@@ -86,12 +95,13 @@ def plan_sql(sql: str, catalog: Catalog,
 def plan_sql_many(statements: Sequence[str], catalog: Catalog,
                   planner: Optional[AdaptivePlanner] = None,
                   cost_model: Optional[CostModel] = None,
-                  backend: Optional[str] = None) -> List[PlannedSQL]:
+                  backend: Optional[str] = None,
+                  workers: Optional[int] = None) -> List[PlannedSQL]:
     """Parse and plan a batch of statements with structural deduplication.
 
-    ``backend`` follows the same rule as :func:`plan_sql`.
+    ``backend`` and ``workers`` follow the same rule as :func:`plan_sql`.
     """
-    planner = _resolve_planner(planner, backend)
+    planner = _resolve_planner(planner, backend, workers)
     parsed = [parse_join_query(sql, catalog, cost_model=cost_model)
               for sql in statements]
     outcomes = planner.plan_many([entry.query for entry in parsed])

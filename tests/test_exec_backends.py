@@ -350,7 +350,7 @@ class TestBlockOrderCoupling:
             context = EnumerationContext.of(graph)
             for size in (3, 5, 7, 9):
                 for target in context.connected_subsets(size)[:40]:
-                    fused_blocks, hangs = _blocks_and_hangs(graph, target)
+                    fused_blocks, hangs = _blocks_and_hangs(graph._adjacency, target)
                     assert fused_blocks == find_blocks(graph, target).blocks
                     # Hang-offs per block partition target \ block.
                     for block, weights in zip(fused_blocks, hangs):

@@ -1,0 +1,178 @@
+"""Property-based differential fuzzing of the whole optimizer stack.
+
+PostBOUND-style differential validation: seeded random join graphs (every
+shape in the taxonomy x 2-12 relations x both cost models x random
+selectivities) are planned by every exact optimizer and the results
+cross-checked three ways —
+
+1. **cross-optimizer**: every exact algorithm (MPDP, MPDP:Tree, DPsub,
+   DPsize, PDP, DPccp, DPE) finds the same optimal cost on the same query;
+2. **cross-backend**: the kernel-pipeline optimizers are bit-identical
+   (plans, costs, counters) across ``scalar`` / ``vectorized`` /
+   ``multicore``, with the multicore worker count rotating through
+   {1, 2, 4} and the break-even gate dropped so the worker IPC path really
+   executes;
+3. **heuristic sanity**: every heuristic's plan cost is >= the exact
+   optimum (they search a subset of the same space under the same cost
+   arithmetic, so this holds exactly, not approximately).
+
+Everything is seeded — the 200-case corpus is a pure function of the case
+index — so a failure reproduces by running its single parametrized id.
+The exponential algorithms (DPsub/DPsize/PDP/DPE/DPccp full cross-check)
+only run on cases small enough to stay interactive; MPDP and the backend
+matrix run on every case.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+import repro.exec.multicore as mc
+from repro.cost.cout import CoutCostModel
+from repro.cost.postgres import PostgresCostModel
+from repro.optimizers import DPE, DPCcp, DPSize, DPSub, MPDP, PDP
+from repro.optimizers.mpdp import MPDPTree
+from repro.planner import DEFAULT_REGISTRY
+from repro.workloads import (
+    chain_query,
+    clique_query,
+    cycle_query,
+    random_connected_query,
+    snowflake_query,
+    star_query,
+)
+
+N_CASES = 200
+
+#: Exhaustive cross-optimizer checks only below this size (DPsub/DPsize
+#: walk exponential pair spaces in pure Python).
+FULL_LINEUP_MAX_RELATIONS = 8
+
+WORKER_ROTATION = (1, 2, 4)
+
+COUNTER_FIELDS = ("evaluated_pairs", "ccp_pairs", "level_pairs", "level_ccp",
+                  "connected_sets", "memo_entries")
+
+#: Heuristics rotated through the corpus (two per case).  LinDP runs with
+#: ``exact_threshold=0`` so it exercises the linearized path instead of
+#: re-running an exact DP (which would trivially equal the optimum).
+HEURISTIC_FACTORIES = (
+    ("GOO", lambda: DEFAULT_REGISTRY.create("GOO")),
+    ("IKKBZ", lambda: DEFAULT_REGISTRY.create("IKKBZ")),
+    ("LinDP", lambda: DEFAULT_REGISTRY.create("LinDP", exact_threshold=0)),
+    ("IDP2", lambda: DEFAULT_REGISTRY.create("IDP2", k=5)),
+    ("UnionDP", lambda: DEFAULT_REGISTRY.create("UnionDP", k=5)),
+    ("GE-QO", lambda: DEFAULT_REGISTRY.create("GE-QO", seed=0, generations=20,
+                                              pool_size=50)),
+)
+
+
+def make_case(index: int):
+    """Deterministic case description for one corpus index."""
+    rng = random.Random(index * 9973 + 17)
+    cost_model_factory = CoutCostModel if index % 2 else PostgresCostModel
+    shapes = ["chain", "star"]
+    n = rng.randint(2, 12)
+    if n >= 3:
+        shapes.append("cycle")
+    if n >= 5:
+        shapes.append("snowflake")
+    if n <= 9:
+        shapes += ["clique", "random_dense"]
+    shapes.append("random_sparse")
+    shape = rng.choice(shapes)
+    seed = rng.randrange(1 << 20)
+
+    def factory():
+        model = cost_model_factory()
+        if shape == "chain":
+            return chain_query(n, seed=seed, cost_model=model)
+        if shape == "star":
+            return star_query(n, seed=seed, cost_model=model)
+        if shape == "cycle":
+            return cycle_query(n, seed=seed, cost_model=model)
+        if shape == "snowflake":
+            return snowflake_query(n, seed=seed, cost_model=model)
+        if shape == "clique":
+            return clique_query(n, seed=seed, cost_model=model)
+        if shape == "random_dense":
+            return random_connected_query(n, extra_edge_probability=0.5,
+                                          seed=seed, cost_model=model)
+        return random_connected_query(n, extra_edge_probability=0.15,
+                                      seed=seed, cost_model=model)
+
+    return factory, {"n": n, "shape": shape, "seed": seed, "index": index}
+
+
+def assert_bit_identical(reference, other, context: str):
+    assert other.cost == reference.cost, context
+    assert other.plan == reference.plan, context
+    for field in COUNTER_FIELDS:
+        assert getattr(other.stats, field) == \
+            getattr(reference.stats, field), f"{context}: {field}"
+    assert [k for k, _ in other.memo.items()] == \
+        [k for k, _ in reference.memo.items()], context
+
+
+@pytest.fixture(scope="module", autouse=True)
+def force_sharding():
+    """Run the corpus with the multicore break-even gate dropped, so the
+    worker IPC path executes even for fuzz-sized levels."""
+    saved = (mc.MULTICORE_MIN_TARGETS, mc.MULTICORE_MIN_WORK)
+    mc.MULTICORE_MIN_TARGETS, mc.MULTICORE_MIN_WORK = 1, 1
+    yield
+    mc.MULTICORE_MIN_TARGETS, mc.MULTICORE_MIN_WORK = saved
+
+
+def _is_acyclic(query) -> bool:
+    return query.graph.n_edges == query.n_relations - 1
+
+
+@pytest.mark.multicore
+@pytest.mark.parametrize("index", range(N_CASES))
+def test_differential_case(index):
+    factory, meta = make_case(index)
+    context = f"case {meta}"
+    workers = WORKER_ROTATION[index % len(WORKER_ROTATION)]
+
+    # Reference: MPDP on the scalar backend (the specification semantics).
+    reference = MPDP(backend="scalar").optimize(factory())
+    optimum = reference.cost
+    reference.plan.validate()  # raises on malformed plan trees
+
+    # Cross-backend bit-identity for the kernel-pipeline optimizers.
+    vectorized = MPDP(backend="vectorized").optimize(factory())
+    assert_bit_identical(reference, vectorized, f"{context}: MPDP vectorized")
+    multicore = MPDP(backend="multicore", workers=workers).optimize(factory())
+    assert_bit_identical(reference, multicore,
+                         f"{context}: MPDP multicore w={workers}")
+
+    if _is_acyclic(factory()):
+        tree_scalar = MPDPTree(backend="scalar").optimize(factory())
+        assert tree_scalar.cost == optimum, context
+        tree_multicore = MPDPTree(backend="multicore",
+                                  workers=workers).optimize(factory())
+        assert_bit_identical(tree_scalar, tree_multicore,
+                             f"{context}: MPDP:Tree multicore")
+
+    # Cross-optimizer optimality (full line-up on small cases only).
+    if meta["n"] <= FULL_LINEUP_MAX_RELATIONS:
+        dpsub_scalar = DPSub(backend="scalar").optimize(factory())
+        assert dpsub_scalar.cost == optimum, f"{context}: DPsub"
+        dpsub_multicore = DPSub(backend="multicore",
+                                workers=workers).optimize(factory())
+        assert_bit_identical(dpsub_scalar, dpsub_multicore,
+                             f"{context}: DPsub multicore")
+        for optimizer in (DPSize(backend="vectorized"), PDP(), DPCcp(), DPE()):
+            result = optimizer.optimize(factory())
+            assert result.cost == optimum, f"{context}: {optimizer.name}"
+
+    # Heuristics never beat the exact optimum (same cost arithmetic).
+    if meta["n"] >= 4:
+        picks = (HEURISTIC_FACTORIES[index % len(HEURISTIC_FACTORIES)],
+                 HEURISTIC_FACTORIES[(index + 3) % len(HEURISTIC_FACTORIES)])
+        for name, make_heuristic in picks:
+            heuristic = make_heuristic().optimize(factory())
+            assert heuristic.cost >= optimum, f"{context}: {name}"

@@ -1,0 +1,98 @@
+"""Golden-plan snapshots: pinned plans/costs for the paper's workloads.
+
+The equivalence suites (``test_exec_backends``, ``test_multicore_backend``,
+the differential fuzzer) are *self*-consistency checks — every backend
+against the scalar reference of the same commit.  They cannot catch a
+refactor that changes what the scalar reference itself produces.  This
+suite pins the fig04/06-09 workloads' optimal plans to files committed
+under ``tests/golden/``: canonical plan strings, exact costs (both repr and
+IEEE-754 hex, so "looks equal" never masks a last-bit drift), and the
+EvaluatedCounter / CCP-Counter pair the figures are computed from.
+
+After an *intentional* plan-affecting change (new cost model defaults, new
+workload statistics), regenerate with::
+
+    PYTHONPATH=src python -m pytest tests/test_golden_plans.py --update-golden
+
+and review the diff like any other code change.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.optimizers import MPDP
+from repro.workloads import (
+    clique_query,
+    musicbrainz_query,
+    snowflake_query,
+    star_query,
+)
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+WORKLOAD_FACTORIES = {
+    "fig04_star_n10_seed1": lambda: star_query(10, seed=1),
+    "fig06_star_n10_seed0": lambda: star_query(10, seed=0),
+    "fig07_snowflake_n12_seed0": lambda: snowflake_query(12, seed=0),
+    "fig08_clique_n9_seed0": lambda: clique_query(9, seed=0),
+    "fig09_musicbrainz_n13_seed0": lambda: musicbrainz_query(13, seed=0),
+}
+
+
+def snapshot_of(workload: str) -> dict:
+    """The canonical snapshot record for one workload."""
+    query = WORKLOAD_FACTORIES[workload]()
+    result = MPDP(backend="scalar").optimize(query)
+    result.plan.validate()
+    return {
+        "workload": workload,
+        "algorithm": result.stats.algorithm,
+        "n_relations": query.n_relations,
+        "cost_model": query.cost_model.name,
+        "cost": repr(result.cost),
+        "cost_hex": float(result.cost).hex(),
+        "rows": repr(result.plan.rows),
+        "evaluated_pairs": result.stats.evaluated_pairs,
+        "ccp_pairs": result.stats.ccp_pairs,
+        "memo_entries": result.stats.memo_entries,
+        "plan": result.plan.to_string(query.graph.relation_names),
+    }
+
+
+def golden_path(workload: str) -> Path:
+    return GOLDEN_DIR / f"{workload}.json"
+
+
+@pytest.fixture
+def update_golden(request) -> bool:
+    return bool(request.config.getoption("--update-golden"))
+
+
+@pytest.mark.parametrize("workload", sorted(WORKLOAD_FACTORIES))
+def test_golden_plan(workload, update_golden):
+    snapshot = snapshot_of(workload)
+    path = golden_path(workload)
+    if update_golden:
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        path.write_text(json.dumps(snapshot, indent=2) + "\n")
+        return
+    assert path.exists(), (
+        f"missing golden file {path}; generate it with "
+        "pytest tests/test_golden_plans.py --update-golden")
+    pinned = json.loads(path.read_text())
+    assert snapshot == pinned, (
+        f"{workload}: current optimizer output diverges from the pinned "
+        f"golden plan; if the change is intentional, regenerate with "
+        "--update-golden and review the diff")
+
+
+def test_no_stale_golden_files():
+    """Every committed golden file corresponds to a current workload."""
+    if not GOLDEN_DIR.exists():
+        pytest.skip("golden directory not generated yet")
+    stale = {p.stem for p in GOLDEN_DIR.glob("*.json")} - set(WORKLOAD_FACTORIES)
+    assert not stale, f"golden files without a workload: {sorted(stale)}"
