@@ -45,3 +45,9 @@ def pytest_configure(config):
         "multicore: spawns worker processes via the multicore kernel "
         "backend (deselect with -m 'not multicore' on constrained runners)",
     )
+    config.addinivalue_line(
+        "markers",
+        "large_query: 100-1000-relation heuristic-ladder sweeps "
+        "(benchmarks/bench_large_queries.py; the CI perf-smoke job runs "
+        "the --quick band, n <= 200)",
+    )

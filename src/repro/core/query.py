@@ -67,6 +67,12 @@ class QueryInfo:
             raise ValueError("leaf_plans must have one entry per graph vertex")
         self._leaf_plans: List[Optional[Plan]] = list(leaf_plans)
         self._scan_cache: Dict[int, Plan] = {}
+        #: Contracted/extracted queries memoize estimates per *local* vertex
+        #: mask: the root estimator already memoizes per root mask, but the
+        #: local-to-root translation itself (``root_mask_of``) is O(vertices)
+        #: and DP inner loops ask for the same local mask once per candidate
+        #: pair.
+        self._rows_cache: Dict[int, float] = {}
 
     # ------------------------------------------------------------------ #
     # Basic shape
@@ -136,21 +142,90 @@ class QueryInfo:
         """
         if not self.is_contracted:
             return self.cardinality.rows(vertex_mask)
-        return self.root.cardinality.rows(self.root_mask_of(vertex_mask))
+        cached = self._rows_cache.get(vertex_mask)
+        if cached is None:
+            cached = self.root.cardinality.rows(self.root_mask_of(vertex_mask))
+            self._rows_cache[vertex_mask] = cached
+        return cached
 
     def rows_batch(self, vertex_masks):
         """Batched :meth:`rows` over an array of vertex bitmaps (float64).
 
         Ordinary queries delegate to the estimator's deduplicating batch
-        entry point; contracted queries translate masks through the root
-        mapping per element (their batches are small — fragment DP levels).
+        entry point.  Contracted queries whose local masks fit int64 lanes
+        run a *vectorized log-space fold* (see :meth:`_log_fold_steps`):
+        the root estimator's scalar path accumulates ``log10`` terms in a
+        fixed order (root vertices ascending, then root edges in graph
+        order), and a lane-wise ``np.where(selected, acc + term, acc)``
+        sweep over those same terms performs the identical IEEE-754
+        addition sequence for every mask at once — bit-identical to
+        :meth:`rows`, without the per-mask Python translation walk that
+        used to dominate kernelized fragment DP time on 100-1000-relation
+        queries.
         """
         if not self.is_contracted:
             return self.cardinality.rows_batch(vertex_masks)
         import numpy as np
 
+        if self.graph.n_relations <= 62:
+            masks = np.asarray(vertex_masks, dtype=np.int64)
+            values, selectors = self._log_fold_steps()
+            acc = np.zeros(len(masks), dtype=np.float64)
+            for value, selector in zip(values, selectors):
+                acc = np.where((masks & selector) == selector,
+                               acc + value, acc)
+            estimator = self.root.cardinality
+            # Final exponentiation stays on Python's ``**`` (inside the
+            # estimator's shared clamp helper) so the rounding is literally
+            # the scalar path's; results feed the local memo so later
+            # scalar rows() calls on the same masks are cache hits.
+            estimates = [estimator.from_log10(log_estimate)
+                         for log_estimate in acc.tolist()]
+            cache = self._rows_cache
+            for mask, estimate in zip(masks.tolist(), estimates):
+                cache[mask] = estimate
+            return np.array(estimates, dtype=np.float64)
         return np.array([self.rows(int(mask)) for mask in vertex_masks],
                         dtype=np.float64)
+
+    def _log_fold_steps(self):
+        """The contracted query's log-space accumulation schedule.
+
+        One ``(log10 term, local selector mask)`` pair per root vertex of
+        the query's span (ascending root index, selector = the composite
+        vertex's local bit) followed by one per root edge inside the span
+        (graph edge order, selector = both endpoints' composite bits) —
+        exactly the term sequence the root estimator's scalar loop adds for
+        any mask, restricted lane-wise by the selectors.  Built once per
+        query object.
+        """
+        import math
+
+        import numpy as np
+
+        cached = getattr(self, "_fold_steps", None)
+        if cached is not None:
+            return cached
+        root = self.root
+        composite_bit: Dict[int, int] = {}
+        span = 0
+        for local_index, vertex_mask in enumerate(self.vertex_masks):
+            span |= vertex_mask
+            for root_vertex in bms.iter_bits(vertex_mask):
+                composite_bit[root_vertex] = bms.bit(local_index)
+        values: List[float] = []
+        selectors: List[int] = []
+        base = root.cardinality.base_cardinalities
+        for root_vertex in bms.iter_bits(span):
+            values.append(math.log10(base[root_vertex]))
+            selectors.append(composite_bit[root_vertex])
+        for edge in root.graph.edges_within(span):
+            values.append(math.log10(edge.selectivity))
+            selectors.append(composite_bit[edge.left] | composite_bit[edge.right])
+        steps = (np.array(values, dtype=np.float64),
+                 np.array(selectors, dtype=np.int64))
+        self._fold_steps = steps
+        return steps
 
     def leaf_plan(self, vertex: int) -> Plan:
         """Access plan for one vertex (a scan, or a pre-built composite plan)."""
@@ -250,17 +325,34 @@ class QueryInfo:
             members = [self.graph.relation_names[v] for v in bms.iter_bits(partition)]
             new_names.append(members[0] if len(members) == 1 else f"part{index}({'+'.join(members)})")
         new_graph = JoinGraph(n_new, new_names)
-        for i in range(n_new):
-            for j in range(i + 1, n_new):
-                crossing = list(self.graph.edges_between(partitions[i], partitions[j]))
-                if crossing:
-                    selectivity = 1.0
-                    is_pk_fk = False
-                    for edge in crossing:
-                        selectivity *= edge.selectivity
-                        is_pk_fk = is_pk_fk or edge.is_pk_fk
-                    new_graph.add_edge(i, j, max(min(selectivity, 1.0), 1e-300),
-                                       predicate="contracted", is_pk_fk=is_pk_fk)
+        # Aggregate crossing edges with a single scan over the edge list
+        # instead of one edges_between() pass per partition pair (quadratic in
+        # partitions x edges, which dominated contraction on 1000-relation
+        # queries).  Selectivities multiply in graph edge order and merged
+        # edges are added in (i, j)-lexicographic order — exactly what the
+        # nested edges_between loop produced, so contracted graphs (and every
+        # cost downstream) are bit-identical.
+        partition_of: Dict[int, int] = {}
+        for index, partition in enumerate(partitions):
+            for vertex in bms.iter_bits(partition):
+                partition_of[vertex] = index
+        merged: Dict[tuple, List] = {}
+        for edge in self.graph.edges:
+            i = partition_of[edge.left]
+            j = partition_of[edge.right]
+            if i == j:
+                continue
+            key = (i, j) if i < j else (j, i)
+            entry = merged.get(key)
+            if entry is None:
+                merged[key] = [edge.selectivity, edge.is_pk_fk]
+            else:
+                entry[0] *= edge.selectivity
+                entry[1] = entry[1] or edge.is_pk_fk
+        for (i, j) in sorted(merged):
+            selectivity, is_pk_fk = merged[(i, j)]
+            new_graph.add_edge(i, j, max(min(selectivity, 1.0), 1e-300),
+                               predicate="contracted", is_pk_fk=is_pk_fk)
 
         new_vertex_masks = [self.root_mask_of(partition) for partition in partitions]
         new_base_cards = [self.rows(partition) for partition in partitions]
@@ -271,6 +363,56 @@ class QueryInfo:
             name=name or f"{self.name}/contracted",
             vertex_masks=new_vertex_masks,
             leaf_plans=list(partition_plans),
+            root=self.root,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Extraction (compact fragment sub-queries for the heuristic drivers)
+    # ------------------------------------------------------------------ #
+    def extract(self, subset: int, name: Optional[str] = None) -> "QueryInfo":
+        """Standalone sub-query over the subgraph induced by ``subset``.
+
+        The fragment's vertices are renumbered to ``0..k-1`` (ascending
+        original index) and its edges are the induced edges in original
+        graph order, so enumeration over the fragment is order-isomorphic to
+        ``optimize(self, subset=...)`` on this query.  Everything that feeds
+        cost arithmetic is *shared*, not copied:
+
+        * leaf plans are this query's leaf plans (same objects, so plan leaf
+          indices stay in the root vertex space),
+        * cardinalities route through the root estimator via the preserved
+          ``vertex_masks``/``root`` chain (sharing its per-mask memo),
+
+        which makes plans produced over the extracted fragment bit-identical
+        to plans produced by subset-scoped optimization on this query.
+
+        The point of extraction is width: the vectorized/multicore kernel
+        backends pack vertex bitmaps into int64 lanes and therefore degrade
+        to scalar on graphs wider than 62 relations.  The large-query
+        heuristics (IDP2, UnionDP) optimize fragments of at most ``k``
+        relations inside 100-1000-relation graphs; extracting each fragment
+        into a compact sub-query puts those fragment DPs back inside the
+        kernels' lane width.
+        """
+        if subset == 0:
+            raise ValueError("cannot extract an empty set of relations")
+        if not bms.is_subset(subset, self.all_relations_mask):
+            raise ValueError("subset contains vertices outside the query")
+        vertices = list(bms.iter_bits(subset))
+        index_of = {vertex: index for index, vertex in enumerate(vertices)}
+        new_graph = JoinGraph(len(vertices),
+                              [self.graph.relation_names[v] for v in vertices])
+        for edge in self.graph.edges_within(subset):
+            new_graph.add_edge(index_of[edge.left], index_of[edge.right],
+                               edge.selectivity, edge.predicate, edge.is_pk_fk)
+        leaf_plans = [self.leaf_plan(vertex) for vertex in vertices]
+        return QueryInfo(
+            graph=new_graph,
+            base_cardinalities=[max(plan.rows, 1e-300) for plan in leaf_plans],
+            cost_model=self.cost_model,
+            name=name or f"{self.name}/fragment",
+            vertex_masks=[self.vertex_masks[v] for v in vertices],
+            leaf_plans=leaf_plans,
             root=self.root,
         )
 

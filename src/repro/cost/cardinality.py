@@ -76,17 +76,46 @@ class CardinalityEstimator:
         if cached is not None:
             return cached
         log_estimate = 0.0
-        for relation in bms.iter_bits(relations):
-            log_estimate += math.log10(self.base_cardinalities[relation])
-        for edge in self.graph.edges_within(relations):
-            log_estimate += math.log10(edge.selectivity)
-        if log_estimate >= 300.0:
-            estimate = self.MAX_ROWS
+        rest = relations & (relations - 1)
+        if rest != 0 and rest & (rest - 1) == 0:
+            # Two-relation fast path: at most one edge can lie inside the
+            # pair (duplicate predicates merge on insertion), so the O(|E|)
+            # edges_within scan reduces to one edge_between lookup.  The
+            # log-space accumulation order is unchanged (vertices ascending,
+            # then the edge), keeping the estimate bit-identical.  The greedy
+            # heuristics (GOO's candidate scan, IDP1's seed edge, UnionDP's
+            # edge weighting) estimate every edge's pair, which made this
+            # path quadratic in edges on clique-shaped 1000-relation queries.
+            left = bms.lowest_bit_index(relations)
+            right = rest.bit_length() - 1
+            log_estimate += math.log10(self.base_cardinalities[left])
+            log_estimate += math.log10(self.base_cardinalities[right])
+            edge = self.graph.edge_between(left, right)
+            if edge is not None:
+                log_estimate += math.log10(edge.selectivity)
         else:
-            estimate = 10.0 ** log_estimate
-        estimate = max(estimate, self.min_rows)
+            for relation in bms.iter_bits(relations):
+                log_estimate += math.log10(self.base_cardinalities[relation])
+            for edge in self.graph.edges_within(relations):
+                log_estimate += math.log10(edge.selectivity)
+        estimate = self.from_log10(log_estimate)
         self._cache[relations] = estimate
         return estimate
+
+    def from_log10(self, log_estimate: float) -> float:
+        """Exponentiate and clamp a log-space estimate, exactly as
+        :meth:`rows` does.
+
+        The single home of the overflow-cap / ``min_rows`` tail: the
+        vectorized log-space folds (:meth:`repro.core.query.QueryInfo.rows_batch`
+        on contracted queries, :func:`repro.exec.heuristic_kernels.lindp_merge`'s
+        interval fold) finish their accumulators through this method, so the
+        scalar/kernel bit-identity contract cannot drift on a one-sided
+        clamp change.
+        """
+        estimate = (self.MAX_ROWS if log_estimate >= 300.0
+                    else 10.0 ** log_estimate)
+        return max(estimate, self.min_rows)
 
     def rows_batch(self, masks):
         """Estimates for a whole batch of relation sets, as a float64 array.

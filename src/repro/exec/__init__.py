@@ -12,6 +12,7 @@ from .backend import (
     AUTO_MULTICORE_MIN_RELATIONS,
     AUTO_VECTORIZE_MIN_RELATIONS,
     BACKEND_NAMES,
+    MAX_VECTOR_RELATIONS,
     KernelBackend,
     KernelOptimizerMixin,
     KernelState,
@@ -21,16 +22,27 @@ from .backend import (
     validate_workers,
     vectorized_supported,
 )
+from .heuristic_kernels import (
+    greedy_union_partition,
+    heuristic_kernels_supported,
+    lindp_merge,
+    pair_rows,
+)
 
 __all__ = [
     "AUTO_MULTICORE_MIN_RELATIONS",
     "AUTO_VECTORIZE_MIN_RELATIONS",
     "BACKEND_NAMES",
+    "MAX_VECTOR_RELATIONS",
     "KernelBackend",
     "KernelOptimizerMixin",
     "KernelState",
     "ScalarBackend",
+    "greedy_union_partition",
+    "heuristic_kernels_supported",
     "iter_tree_edge_splits",
+    "lindp_merge",
+    "pair_rows",
     "resolve_backend",
     "validate_workers",
     "vectorized_supported",

@@ -74,6 +74,7 @@ __all__ = [
     "BACKEND_NAMES",
     "AUTO_VECTORIZE_MIN_RELATIONS",
     "AUTO_MULTICORE_MIN_RELATIONS",
+    "MAX_VECTOR_RELATIONS",
 ]
 
 #: The backend names optimizers and the planner accept.
@@ -93,9 +94,12 @@ AUTO_VECTORIZE_MIN_RELATIONS = 12
 AUTO_MULTICORE_MIN_RELATIONS = 14
 
 #: The vectorized kernels pack vertex bitmaps into int64 lanes; wider graphs
-#: (only reachable through the 100+-relation heuristic drivers) fall back to
-#: the scalar backend.
-_MAX_VECTOR_RELATIONS = 62
+#: fall back to the scalar backend.  The 100+-relation heuristic drivers
+#: stay inside this width by *extracting* each fragment into a compact
+#: sub-query (:meth:`repro.core.query.QueryInfo.extract`) before invoking
+#: their inner exact optimizer.
+MAX_VECTOR_RELATIONS = 62
+_MAX_VECTOR_RELATIONS = MAX_VECTOR_RELATIONS
 
 
 def _available_cpus() -> int:

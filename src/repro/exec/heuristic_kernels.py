@@ -1,0 +1,318 @@
+"""Batched kernels for the large-query heuristic ladder.
+
+The exact algorithms got their kernel pipeline in :mod:`repro.exec.vectorized`
+(per-level unrank / filter / evaluate / scatter-min).  The heuristics that
+plan 100-1000-relation queries have their own inner loops that dominate at
+that scale, and this module gives each of them the same treatment:
+
+* :func:`lindp_merge` — LinearizedDP's quadratic interval-merge loop as one
+  batched kernel per DP length: candidate splits of every same-length
+  interval are validated with a 2-D prefix-sum rectangle test over the
+  linear order's adjacency matrix (position space, so it works far beyond
+  the int64 lane width that caps the exact kernels at 62 relations), costed
+  with a single :meth:`~repro.cost.base.CostModel.cost_batch` call, and
+  reduced per interval with the scalar loop's first-cheapest-wins rule.
+  Plans are materialised only for the winning split tree (O(n) joins instead
+  of one Plan object per valid split), with an arena-style drift check that
+  the materialised root cost equals the DP's batched cost.
+* :func:`greedy_union_partition` — UnionDP's greedy min-edge scan
+  (Algorithm 4's partition phase) as array reductions: per union round the
+  admissible edge with the lexicographically smallest ``(combined size,
+  weight, scan position)`` key is found with masked ``min``/``argmax``
+  passes over endpoint-root columns instead of a Python rescan of every
+  edge, and root columns are rewritten in bulk after each union.
+* :func:`pair_rows` — the batched form of the greedy candidate scans (GOO's
+  initial heap build, UnionDP's edge weighting): one gather of every edge's
+  two-relation output estimate.  The per-pair estimate deliberately stays on
+  :meth:`CardinalityEstimator.rows <repro.cost.cardinality.CardinalityEstimator.rows>`
+  (which has an O(1) two-relation fast path) because IEEE-754 log-space
+  accumulation order is part of the scalar/kernel bit-identity contract.
+
+Every kernel is bit-identical to the scalar loop it replaces — same plans,
+same costs, same counters — so the heuristics can expose the standard
+``backend=`` knob with the same "backends only move time" guarantee the
+exact optimizers make.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core import bitmapset as bms
+from ..core.counters import OptimizerStats
+from ..core.plan import Plan
+from ..core.query import QueryInfo
+from ..core.unionfind import UnionFind
+
+__all__ = [
+    "heuristic_kernels_supported",
+    "lindp_merge",
+    "greedy_union_partition",
+    "pair_rows",
+]
+
+
+def heuristic_kernels_supported() -> bool:
+    """True when numpy is importable (the only requirement).
+
+    Unlike the exact-DP kernels the heuristic kernels work in *position*
+    space (indices into a linear order or an edge list), so they have no
+    62-relation lane-width ceiling.
+    """
+    try:
+        import numpy  # noqa: F401
+    except ImportError:  # pragma: no cover - numpy is an install requirement
+        return False
+    return True
+
+
+# --------------------------------------------------------------------------- #
+# LinearizedDP: batched interval merge
+# --------------------------------------------------------------------------- #
+def lindp_merge(query: QueryInfo, order: Sequence[int],
+                stats: OptimizerStats) -> Optional[Plan]:
+    """DP over contiguous intervals of ``order``, one batch per length.
+
+    Returns the best plan of the full interval, or ``None`` when no
+    connected plan exists (the caller raises the scalar path's error).
+
+    Bit-identity with the scalar loop in
+    :meth:`repro.heuristics.lindp.LinearizedDP._run` rests on three pins:
+    candidate splits keep their ascending in-interval rank and the winner is
+    the *first* strict cost minimum (``argmin``'s tie rule == the scalar
+    ``<`` update); costs come from ``cost_batch``, whose contract is
+    bit-equality with ``join()``; and interval output cardinalities come
+    from the same memoized ``query.rows`` the scalar ``join`` consults.
+    """
+    import numpy as np
+
+    n = len(order)
+    if n == 1:
+        return query.leaf_plan(order[0])
+
+    # Vertex masks of every interval [i, j] (arbitrary-width Python ints —
+    # these never enter an int64 array).
+    interval_mask: List[List[int]] = [[0] * n for _ in range(n)]
+    for i in range(n):
+        mask = 0
+        for j in range(i, n):
+            mask |= bms.bit(order[j])
+            interval_mask[i][j] = mask
+
+    # DP tables over (start, end) positions.
+    cost = np.full((n, n), np.inf)
+    rows = np.zeros((n, n))
+    has = np.zeros((n, n), dtype=bool)
+    split_of = np.full((n, n), -1, dtype=np.int64)
+    for i, vertex in enumerate(order):
+        leaf = query.leaf_plan(vertex)
+        cost[i, i] = leaf.cost
+        rows[i, i] = leaf.rows
+        has[i, i] = True
+
+    # Adjacency of the linear order in position space, plus 2-D prefix sums:
+    # "some edge crosses [i..s] x [s+1..j]" becomes one rectangle-count
+    # comparison, replacing the scalar per-split is_connected_to probe.
+    graph = query.graph
+    scope = interval_mask[0][n - 1]
+    position_of = {vertex: p for p, vertex in enumerate(order)}
+    member = np.zeros((n, n), dtype=np.int64)
+    for p, vertex in enumerate(order):
+        for neighbour in bms.iter_bits(graph.adjacency(vertex) & scope):
+            member[p, position_of[neighbour]] = 1
+    prefix = np.zeros((n + 1, n + 1), dtype=np.int64)
+    prefix[1:, 1:] = np.cumsum(np.cumsum(member, axis=0), axis=1)
+
+    # Interval output cardinalities via an exact log-space fold.  The
+    # estimator's scalar path adds ``log10`` terms in a fixed order (root
+    # vertices ascending, then root edges in graph order); every interval
+    # [i, i+L-1] receives the terms whose position span it covers, so one
+    # slice-add per term per length performs the identical IEEE-754
+    # addition sequence for all same-length intervals at once —
+    # bit-identical to the per-mask ``query.rows`` walk it replaces.
+    import math
+
+    if query.is_contracted:
+        estimator = query.root.cardinality
+        position_of_root: Dict[int, int] = {}
+        span = 0
+        for position, local_vertex in enumerate(order):
+            vertex_mask = query.vertex_masks[local_vertex]
+            span |= vertex_mask
+            for root_vertex in bms.iter_bits(vertex_mask):
+                position_of_root[root_vertex] = position
+    else:
+        estimator = query.cardinality
+        span = scope
+        position_of_root = {vertex: position
+                            for position, vertex in enumerate(order)}
+    fold_steps: List[Tuple[float, int, int]] = []
+    for root_vertex in bms.iter_bits(span):
+        position = position_of_root[root_vertex]
+        fold_steps.append((math.log10(estimator.base_cardinalities[root_vertex]),
+                           position, position))
+    for edge in estimator.graph.edges_within(span):
+        left_position = position_of_root[edge.left]
+        right_position = position_of_root[edge.right]
+        if left_position > right_position:
+            left_position, right_position = right_position, left_position
+        fold_steps.append((math.log10(edge.selectivity),
+                           left_position, right_position))
+
+    def interval_rows(length: int, m: int) -> "np.ndarray":
+        acc = np.zeros(m, dtype=np.float64)
+        for value, near, far in fold_steps:
+            low = far - length + 1
+            if low < 0:
+                low = 0
+            high = near if near < m - 1 else m - 1
+            if low <= high:
+                acc[low:high + 1] += value
+        return np.array(
+            [estimator.from_log10(log_estimate)
+             for log_estimate in acc.tolist()],
+            dtype=np.float64)
+
+    model = query.cost_model
+    for length in range(2, n + 1):
+        m = n - length + 1
+        starts = np.arange(m)
+        ends = starts + length - 1
+        splits = starts[:, None] + np.arange(length - 1)[None, :]
+
+        pair_ok = has[starts[:, None], splits] & has[splits + 1, ends[:, None]]
+        n_pairs = int(pair_ok.sum())
+        upper = splits + 1
+        rect = (prefix[upper, ends[:, None] + 1]
+                - prefix[starts[:, None], ends[:, None] + 1]
+                - prefix[upper, upper]
+                + prefix[starts[:, None], upper])
+        valid = pair_ok & (rect > 0)
+        n_ccp = int(valid.sum())
+        stats.record_pairs(length, n_pairs, n_ccp)
+        if n_ccp == 0:
+            continue
+
+        out = interval_rows(length, m)
+        vrow, vcol = np.nonzero(valid)
+        split_abs = splits[vrow, vcol]
+        candidate_cost = np.full(valid.shape, np.inf)
+        candidate_cost[vrow, vcol] = model.cost_batch(
+            rows[vrow, split_abs], cost[vrow, split_abs],
+            rows[split_abs + 1, ends[vrow]], cost[split_abs + 1, ends[vrow]],
+            out[vrow])
+        # First strict minimum per interval == the scalar loop's ascending
+        # split scan with a strict `<` update.
+        win = np.argmin(candidate_cost, axis=1)
+        best = candidate_cost[np.arange(m), win]
+        found = np.isfinite(best)
+        stats.record_sets(length, int(found.sum()))
+        has[starts[found], ends[found]] = True
+        cost[starts[found], ends[found]] = best[found]
+        rows[starts[found], ends[found]] = out[found]
+        split_of[starts[found], ends[found]] = starts[found] + win[found]
+
+    if not has[0, n - 1]:
+        return None
+
+    # Materialise only the winning split tree (iterative post-order walk so
+    # 1000-interval chains do not hit the recursion limit).
+    plans: dict = {}
+    stack: List[Tuple[int, int, bool]] = [(0, n - 1, False)]
+    while stack:
+        i, j, expanded = stack.pop()
+        if i == j:
+            plans[(i, j)] = query.leaf_plan(order[i])
+            continue
+        s = int(split_of[i, j])
+        if not expanded:
+            stack.append((i, j, True))
+            stack.append((i, s, False))
+            stack.append((s + 1, j, False))
+            continue
+        plans[(i, j)] = query.join(interval_mask[i][s], interval_mask[s + 1][j],
+                                   plans[(i, s)], plans[(s + 1, j)])
+    plan = plans[(0, n - 1)]
+    if plan.cost != cost[0, n - 1]:
+        raise RuntimeError(
+            "lindp_merge: materialised plan cost diverged from the batched DP "
+            f"cost ({plan.cost!r} != {cost[0, n - 1]!r}); the cost model's "
+            "cost_batch broke the bit-identity contract")
+    return plan
+
+
+# --------------------------------------------------------------------------- #
+# UnionDP: batched greedy partition scan
+# --------------------------------------------------------------------------- #
+def greedy_union_partition(
+        uf: UnionFind, k: int,
+        weighted_edges: Sequence[Tuple[float, int, int]]) -> None:
+    """Run UnionDP's greedy union rounds with array scans, mutating ``uf``.
+
+    Each round unions the edge minimising ``(combined partition size,
+    weight, scan position)`` among edges whose merged partition would not
+    exceed ``k`` — exactly the scalar loop's strict-``<`` first-minimum
+    choice over its (pop-compacted) active list: popped edges are connected
+    forever after, so skipping them by root equality preserves the relative
+    scan order the compaction produced.
+    """
+    import numpy as np
+
+    n_edges = len(weighted_edges)
+    if n_edges == 0:
+        return
+    weight = np.fromiter((entry[0] for entry in weighted_edges),
+                         np.float64, n_edges)
+    left = np.fromiter((entry[1] for entry in weighted_edges),
+                       np.int64, n_edges)
+    right = np.fromiter((entry[2] for entry in weighted_edges),
+                        np.int64, n_edges)
+    left_root = np.fromiter((uf.find(int(v)) for v in left), np.int64, n_edges)
+    right_root = np.fromiter((uf.find(int(v)) for v in right), np.int64, n_edges)
+    size = np.ones(uf.n, dtype=np.int64)
+    for root in np.unique(np.concatenate([left_root, right_root])):
+        size[root] = uf.set_size(int(root))
+
+    while True:
+        combined = size[left_root] + size[right_root]
+        admissible = (left_root != right_root) & (combined <= k)
+        if not admissible.any():
+            break
+        masked_combined = np.where(admissible, combined, k + 1)
+        min_combined = masked_combined.min()
+        size_tied = masked_combined == min_combined
+        masked_weight = np.where(size_tied, weight, np.inf)
+        min_weight = masked_weight.min()
+        index = int(np.argmax(size_tied & (masked_weight == min_weight)))
+
+        edge_left = int(left[index])
+        edge_right = int(right[index])
+        old_left = left_root[index]
+        old_right = right_root[index]
+        uf.union(edge_left, edge_right)
+        new_root = uf.find(edge_left)
+        size[new_root] = uf.set_size(edge_left)
+        stale = (left_root == old_left) | (left_root == old_right)
+        left_root[stale] = new_root
+        stale = (right_root == old_left) | (right_root == old_right)
+        right_root[stale] = new_root
+
+
+# --------------------------------------------------------------------------- #
+# GOO / IDP1: batched candidate-pair estimation
+# --------------------------------------------------------------------------- #
+def pair_rows(query: QueryInfo, pairs: Sequence[Tuple[int, int]]):
+    """Output-cardinality estimates for a batch of vertex pairs (float64).
+
+    The batched form of the greedy min-edge scans: GOO's initial candidate
+    heap and UnionDP's edge weighting both estimate ``rows({a, b})`` for
+    every edge.  Estimates come from the memoized scalar ``query.rows`` per
+    pair — a deliberate choice (shared memo + identical accumulation order
+    == bit-identity with the scalar scan), with the estimator's two-relation
+    fast path keeping each probe O(1).
+    """
+    import numpy as np
+
+    return np.array(
+        [query.rows(bms.bit(a) | bms.bit(b)) for a, b in pairs],
+        dtype=np.float64)

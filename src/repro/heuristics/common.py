@@ -1,0 +1,107 @@
+"""Shared plumbing for the kernelized large-query heuristic drivers.
+
+The heuristic ladder (IDP2, UnionDP, LinDP, GOO) is the paper's answer to
+100-1000-relation queries, and its headline results (Tables 1-2) come from
+running the *parallel* DP kernel as the inner exact step.  Two pieces of
+plumbing make that work here:
+
+* :class:`HeuristicBackendMixin` — the standard ``backend=``/``workers=``
+  knob (same names, same validation, same "backends only move time"
+  bit-identity guarantee as the exact optimizers), threaded by each driver
+  into its inner exact optimizer and into its own batched loops
+  (:mod:`repro.exec.heuristic_kernels`).
+
+* :func:`optimize_fragment` — fragment dispatch.  The vectorized/multicore
+  kernels pack vertex bitmaps into int64 lanes and therefore degrade to
+  scalar on graphs wider than :data:`~repro.exec.backend.MAX_VECTOR_RELATIONS`
+  relations — which used to mean that the heuristics *never* benefited from
+  the kernels precisely on the large queries they exist for.  Fragments of
+  wide graphs are now extracted into compact sub-queries
+  (:meth:`~repro.core.query.QueryInfo.extract`) first, which is
+  bit-identical by construction (shared leaf plans, root-routed
+  cardinalities, order-isomorphic enumeration) and puts the fragment DP
+  back inside the kernels' lane width.  Queries at or below the lane width
+  keep the historical subset-scoped path, so the shared per-graph
+  :class:`~repro.core.enumeration.EnumerationContext` caches still carry
+  across fragments there.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.query import QueryInfo
+from ..exec import (
+    AUTO_VECTORIZE_MIN_RELATIONS,
+    BACKEND_NAMES,
+    MAX_VECTOR_RELATIONS,
+    heuristic_kernels_supported,
+    validate_workers,
+)
+from ..optimizers.base import JoinOrderOptimizer, PlanResult
+
+__all__ = ["HeuristicBackendMixin", "optimize_fragment"]
+
+
+class HeuristicBackendMixin:
+    """The ``backend=``/``workers=`` knob for heuristic drivers.
+
+    Mirrors :class:`~repro.exec.backend.KernelOptimizerMixin` (same names,
+    same validation) without its DP-table override: the drivers keep plain
+    :class:`~repro.core.memo.MemoTable` state and hand the knob to (a) their
+    inner exact optimizer and (b) their own batched loops.
+    """
+
+    #: Backends this driver can execute on (capability metadata).
+    supported_backends = ("scalar", "vectorized", "multicore")
+    #: The requested backend, forwarded to the inner exact optimizer.
+    backend: str = "scalar"
+    #: Worker-process count for the multicore backend (``None`` = auto).
+    workers: Optional[int] = None
+
+    def _init_backend(self, backend: str, workers: Optional[int] = None) -> None:
+        if backend not in BACKEND_NAMES:
+            raise ValueError(
+                f"unknown kernel backend {backend!r}; choose one of "
+                f"{', '.join(BACKEND_NAMES)}")
+        validate_workers(workers)
+        self.backend = backend
+        self.workers = workers
+
+    def _use_heuristic_kernels(self, batch_size: int) -> bool:
+        """Whether this driver's own batched loops should run.
+
+        ``batch_size`` is the number of items the batched loop would
+        process — linear-order positions for LinearizedDP's merge,
+        candidate edges for the greedy scans.  ``scalar`` keeps the
+        reference loops; explicit ``vectorized`` / ``multicore`` requests
+        batch whenever numpy is available (the heuristic kernels are
+        in-process either way — the multicore workers apply to the inner
+        exact DP levels, not the driver's merge loops); ``auto``
+        additionally requires the batch to be large enough to amortize
+        array setup (the same floor the exact kernels use for relation
+        counts).
+        """
+        if self.backend == "scalar":
+            return False
+        if not heuristic_kernels_supported():
+            return False
+        if self.backend == "auto" and batch_size < AUTO_VECTORIZE_MIN_RELATIONS:
+            return False
+        return True
+
+
+def optimize_fragment(exact: JoinOrderOptimizer, query: QueryInfo,
+                      fragment: int) -> PlanResult:
+    """Run ``exact`` on one fragment of ``query``, extracting when wide.
+
+    On graphs wider than the kernel lane width the fragment is extracted
+    into a compact sub-query so the inner DP can vectorize; the returned
+    plan is expressed over the same (root-space) leaf plans either way, so
+    results are bit-identical across the two routes — and across backends,
+    because the route depends only on the query, never on the backend.
+    """
+    if (query.graph.n_relations > MAX_VECTOR_RELATIONS
+            and fragment != query.all_relations_mask):
+        return exact.optimize(query.extract(fragment))
+    return exact.optimize(query, subset=fragment)

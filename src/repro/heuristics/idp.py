@@ -21,6 +21,16 @@ much larger ``k`` (up to 25) than a CPU DP could afford within the same time
 budget.  Temporary tables are modelled with :meth:`QueryInfo.contract`, which
 keeps cardinalities consistent with the root query so costs remain comparable
 across iterations.
+
+Both drivers follow the kernelized-ladder contract (see
+:mod:`repro.heuristics.common`): ``backend=``/``workers=`` configure the
+inner exact optimizer's kernel execution backend, **one** inner instance is
+built per driver and reused for every fragment of every ``optimize()`` call
+(so per-query caches such as the enumeration context and the kernel
+snapshot state warm up across fragments instead of being rebuilt per
+``exact_factory()`` call), and fragments of graphs wider than the kernels'
+int64 lane width are extracted into compact sub-queries before the inner
+DP runs.
 """
 
 from __future__ import annotations
@@ -35,16 +45,56 @@ from ..core.plan import Plan
 from ..core.query import QueryInfo
 from ..optimizers.base import JoinOrderOptimizer, OptimizationError
 from ..optimizers.mpdp import MPDP
+from .common import HeuristicBackendMixin, optimize_fragment
 from .goo import GOO
 
 __all__ = ["IDP1", "IDP2"]
 
 
-def _default_exact_factory() -> JoinOrderOptimizer:
-    return MPDP()
+def _default_exact_factory(backend: str = "scalar",
+                           workers: Optional[int] = None) -> JoinOrderOptimizer:
+    return MPDP(backend=backend, workers=workers)
 
 
-class IDP1(JoinOrderOptimizer):
+def resolve_exact(factory: Callable[..., JoinOrderOptimizer],
+                  backend: str, workers: Optional[int]) -> JoinOrderOptimizer:
+    """Build the shared inner exact optimizer, threading the backend knob.
+
+    Factories that accept the standard knob (optimizer classes such as
+    :class:`~repro.optimizers.mpdp.MPDP` or
+    :class:`~repro.heuristics.lindp.LinearizedDP`, and the default factory)
+    get it; legacy zero-argument factories are called bare, preserving the
+    historical ``exact_factory=lambda: ...`` API.  The decision is made by
+    signature inspection, never by swallowing ``TypeError`` — a factory that
+    accepts only part of the knob still receives that part, so a requested
+    backend is never silently dropped (the exact bug class this module's
+    drivers were rewired to fix).  Knobs a ``functools.partial`` factory
+    has already bound are left alone: the user's pre-configuration wins
+    over the driver's default.
+    """
+    import functools
+    import inspect
+
+    bound = set()
+    probe = factory
+    while isinstance(probe, functools.partial):
+        bound |= set(probe.keywords or ())
+        probe = probe.func
+    try:
+        parameters = inspect.signature(factory).parameters
+    except (TypeError, ValueError):  # builtins/C callables: no knob support
+        return factory()
+    accepts_var_keyword = any(p.kind is p.VAR_KEYWORD
+                              for p in parameters.values())
+    kwargs = {}
+    if "backend" not in bound and (accepts_var_keyword or "backend" in parameters):
+        kwargs["backend"] = backend
+    if "workers" not in bound and (accepts_var_keyword or "workers" in parameters):
+        kwargs["workers"] = workers
+    return factory(**kwargs)
+
+
+class IDP1(HeuristicBackendMixin, JoinOrderOptimizer):
     """IDP1: iterate exact DP up to ``k`` relations, materialise, repeat."""
 
     name = "IDP1"
@@ -53,11 +103,15 @@ class IDP1(JoinOrderOptimizer):
     execution_style = "level_parallel"
 
     def __init__(self, k: int = 8,
-                 exact_factory: Callable[[], JoinOrderOptimizer] = _default_exact_factory):
+                 exact_factory: Callable[..., JoinOrderOptimizer] = _default_exact_factory,
+                 backend: str = "scalar", workers: Optional[int] = None):
         if k < 2:
             raise ValueError("IDP1 needs k >= 2")
         self.k = k
+        self._init_backend(backend, workers)
         self.exact_factory = exact_factory
+        #: The shared inner exact optimizer (one instance for every fragment).
+        self.exact_optimizer = resolve_exact(exact_factory, backend, workers)
         self.name = f"IDP1({k})"
 
     def _run(self, query: QueryInfo, subset: int,
@@ -68,7 +122,7 @@ class IDP1(JoinOrderOptimizer):
         while True:
             n = current.n_relations
             if n <= self.k:
-                result = self.exact_factory().optimize(current)
+                result = self.exact_optimizer.optimize(current)
                 stats.merge(result.stats)
                 return result.plan
             # Find the cheapest plan covering exactly k vertices: run the exact
@@ -93,10 +147,21 @@ class IDP1(JoinOrderOptimizer):
         """
         graph = query.graph
         context = EnumerationContext.of(graph)
-        best_edge = min(
-            graph.edges,
-            key=lambda e: query.rows(bms.bit(e.left) | bms.bit(e.right)),
-        )
+        edges = graph.edges
+        if self._use_heuristic_kernels(len(edges)):
+            # Batched min-edge scan: one gather of every edge's pair
+            # estimate, first-minimum argmin == min()'s first-win rule.
+            import numpy as np
+
+            from ..exec import pair_rows
+
+            weights = pair_rows(query, [(e.left, e.right) for e in edges])
+            best_edge = edges[int(np.argmin(weights))]
+        else:
+            best_edge = min(
+                edges,
+                key=lambda e: query.rows(bms.bit(e.left) | bms.bit(e.right)),
+            )
         fragment = bms.bit(best_edge.left) | bms.bit(best_edge.right)
         while bms.popcount(fragment) < self.k:
             neighbours = context.neighbours_of_set(fragment)
@@ -107,11 +172,11 @@ class IDP1(JoinOrderOptimizer):
                 key=lambda v: query.rows(fragment | bms.bit(v)),
             )
             fragment |= bms.bit(best_vertex)
-        result = self.exact_factory().optimize(query, subset=fragment)
+        result = optimize_fragment(self.exact_optimizer, query, fragment)
         return fragment, result.plan
 
 
-class IDP2(JoinOrderOptimizer):
+class IDP2(HeuristicBackendMixin, JoinOrderOptimizer):
     """IDP2: GOO initial plan, then exact re-optimization of costly subtrees."""
 
     name = "IDP2"
@@ -120,16 +185,21 @@ class IDP2(JoinOrderOptimizer):
     execution_style = "level_parallel"
 
     def __init__(self, k: int = 15,
-                 exact_factory: Callable[[], JoinOrderOptimizer] = _default_exact_factory,
+                 exact_factory: Callable[..., JoinOrderOptimizer] = _default_exact_factory,
                  initial_heuristic: Optional[JoinOrderOptimizer] = None,
-                 max_iterations: Optional[int] = None):
+                 max_iterations: Optional[int] = None,
+                 backend: str = "scalar", workers: Optional[int] = None):
         if k < 2:
             raise ValueError("IDP2 needs k >= 2")
         self.k = k
+        self._init_backend(backend, workers)
         self.exact_factory = exact_factory
-        self.initial_heuristic = initial_heuristic or GOO()
+        #: The shared inner exact optimizer (one instance for every fragment
+        #: of every iteration — never re-created per ``exact_factory()``).
+        self.exact_optimizer = resolve_exact(exact_factory, backend, workers)
+        self.initial_heuristic = initial_heuristic or GOO(backend=backend)
         self.max_iterations = max_iterations
-        self.name = f"IDP2-{self.exact_factory().name} ({k})"
+        self.name = f"IDP2-{self.exact_optimizer.name} ({k})"
 
     # ------------------------------------------------------------------ #
     def _run(self, query: QueryInfo, subset: int,
@@ -141,7 +211,7 @@ class IDP2(JoinOrderOptimizer):
         while True:
             n = current.n_relations
             if n <= self.k:
-                result = self.exact_factory().optimize(current)
+                result = self.exact_optimizer.optimize(current)
                 stats.merge(result.stats)
                 return result.plan
 
@@ -149,7 +219,8 @@ class IDP2(JoinOrderOptimizer):
             stats.merge(tentative.stats)
 
             fragment_vertices = self._most_expensive_fragment(current, tentative.plan)
-            exact = self.exact_factory().optimize(current, subset=fragment_vertices)
+            exact = optimize_fragment(self.exact_optimizer, current,
+                                      fragment_vertices)
             stats.merge(exact.stats)
 
             partitions: List[int] = [fragment_vertices]

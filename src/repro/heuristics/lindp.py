@@ -13,6 +13,17 @@ queries, linearized DP for medium ones, and IDP2 with linearized DP as the
 inner algorithm for very large ones.  The default thresholds (14 and 100
 relations) are the ones reported in the original paper and quoted in
 Section 6 of the MPDP paper.
+
+Kernelized-ladder contract (see :mod:`repro.heuristics.common`): with
+``backend != "scalar"``, :class:`LinearizedDP`'s quadratic interval-merge
+loop executes as the batched :func:`~repro.exec.heuristic_kernels.lindp_merge`
+kernel — one prefix-sum-filtered ``cost_batch`` evaluation per DP length
+instead of one Python iteration (and one throwaway ``Plan``) per candidate
+split.  The kernel works in linear-order *position* space, so unlike the
+exact-DP kernels it has no 62-relation lane-width ceiling — it runs the
+paper's 100-300-relation LinDP band directly.  :class:`AdaptiveLinDP`
+threads ``backend=``/``workers=`` into all three of its rungs, reusing one
+inner optimizer per rung across calls.
 """
 
 from __future__ import annotations
@@ -27,13 +38,14 @@ from ..core.plan import Plan
 from ..core.query import QueryInfo
 from ..optimizers.base import JoinOrderOptimizer, OptimizationError
 from ..optimizers.dpccp import DPCcp
+from .common import HeuristicBackendMixin
 from .idp import IDP2
 from .ikkbz import IKKBZ
 
 __all__ = ["LinearizedDP", "AdaptiveLinDP"]
 
 
-class LinearizedDP(JoinOrderOptimizer):
+class LinearizedDP(HeuristicBackendMixin, JoinOrderOptimizer):
     """DP over contiguous intervals of the IKKBZ linear order."""
 
     name = "LinearizedDP"
@@ -42,13 +54,25 @@ class LinearizedDP(JoinOrderOptimizer):
     execution_style = "level_parallel"
     max_relations = 300
 
-    def __init__(self, ikkbz: Optional[IKKBZ] = None):
+    def __init__(self, ikkbz: Optional[IKKBZ] = None,
+                 backend: str = "scalar", workers: Optional[int] = None):
         self.ikkbz = ikkbz or IKKBZ()
+        self._init_backend(backend, workers)
 
     def _run(self, query: QueryInfo, subset: int,
              memo: MemoTable, stats: OptimizerStats) -> Plan:
         order = self.ikkbz.linear_order(query, subset)
         n = len(order)
+
+        if self._use_heuristic_kernels(n):
+            from ..exec import lindp_merge
+
+            plan = lindp_merge(query, order, stats)
+            if plan is None:
+                raise OptimizationError(
+                    "linearized DP found no connected plan for the full order")
+            return plan
+
         # Interval masks recur across splits, so the cross-edge checks below
         # hit the context's memoized neighbour bitmaps.
         context = EnumerationContext.of(query.graph)
@@ -93,12 +117,14 @@ class LinearizedDP(JoinOrderOptimizer):
         return final
 
 
-class AdaptiveLinDP(JoinOrderOptimizer):
+class AdaptiveLinDP(HeuristicBackendMixin, JoinOrderOptimizer):
     """The adaptive optimizer: DPccp / linearized DP / IDP2(linearized DP).
 
     Thresholds follow the original paper: exact DP below ``exact_threshold``
     relations, linearized DP up to ``linearized_threshold`` relations, and
-    IDP2 with linearized DP as its inner algorithm beyond that.
+    IDP2 with linearized DP as its inner algorithm beyond that.  Each rung's
+    inner optimizer is built once and reused across ``optimize()`` calls,
+    with ``backend=``/``workers=`` threaded into the linearized rungs.
     """
 
     name = "LinDP"
@@ -107,22 +133,27 @@ class AdaptiveLinDP(JoinOrderOptimizer):
     execution_style = "level_parallel"
 
     def __init__(self, exact_threshold: int = 14, linearized_threshold: int = 100,
-                 idp_k: int = 100):
+                 idp_k: int = 100,
+                 backend: str = "scalar", workers: Optional[int] = None):
         self.exact_threshold = exact_threshold
         self.linearized_threshold = linearized_threshold
         self.idp_k = idp_k
+        self._init_backend(backend, workers)
+        #: Shared per-rung inner optimizers (DPccp has no kernel pipeline —
+        #: it is a producer/consumer enumerator — so it takes no backend).
+        self._exact_inner = DPCcp()
+        self._linearized_inner = LinearizedDP(backend=backend, workers=workers)
+        self._idp_inner = IDP2(k=idp_k, exact_factory=LinearizedDP,
+                               backend=backend, workers=workers)
 
     def _run(self, query: QueryInfo, subset: int,
              memo: MemoTable, stats: OptimizerStats) -> Plan:
         n = bms.popcount(subset)
         if n < self.exact_threshold:
-            inner: JoinOrderOptimizer = DPCcp()
-            result = inner.optimize(query, subset=subset)
+            result = self._exact_inner.optimize(query, subset=subset)
         elif n <= self.linearized_threshold:
-            inner = LinearizedDP()
-            result = inner.optimize(query, subset=subset)
+            result = self._linearized_inner.optimize(query, subset=subset)
         else:
-            inner = IDP2(k=self.idp_k, exact_factory=LinearizedDP)
-            result = inner.optimize(query, subset=subset)
+            result = self._idp_inner.optimize(query, subset=subset)
         stats.merge(result.stats)
         return result.plan

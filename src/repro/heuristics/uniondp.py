@@ -20,16 +20,22 @@ across the edge), and an edge's endpoints are unioned whenever the merged
 partition would not exceed ``k``.  A Union-Find structure maintains the
 partitions.
 
-All fragment optimizations of one round run against the *same* join graph
-with different ``within=`` scopes, so they share the graph's
-:class:`~repro.core.enumeration.EnumerationContext`: connectivity, neighbour
-and block caches warmed by one partition are reused by the next, and only the
-per-scope connected-subset index is partition-specific (see PERFORMANCE.md).
+Kernelized-ladder contract (see :mod:`repro.heuristics.common`):
+``backend=``/``workers=`` thread down to the shared inner exact optimizer —
+**one** instance reused for every fragment of every round, so its per-query
+caches warm across fragments — and, for non-scalar backends, the greedy
+partition scan runs as the batched
+:func:`~repro.exec.heuristic_kernels.greedy_union_partition` kernel.
+Fragments of graphs wider than the kernels' int64 lane width are extracted
+into compact sub-queries first; at or below the lane width all fragment
+optimizations of one round run against the *same* join graph with different
+``within=`` scopes, so they share the graph's
+:class:`~repro.core.enumeration.EnumerationContext` (see PERFORMANCE.md).
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Tuple
+from typing import Callable, List, Optional, Tuple
 
 from ..core import bitmapset as bms
 from ..core.counters import OptimizerStats
@@ -38,16 +44,13 @@ from ..core.plan import Plan
 from ..core.query import QueryInfo
 from ..core.unionfind import UnionFind
 from ..optimizers.base import JoinOrderOptimizer, OptimizationError
-from ..optimizers.mpdp import MPDP
+from .common import HeuristicBackendMixin, optimize_fragment
+from .idp import _default_exact_factory, resolve_exact
 
 __all__ = ["UnionDP"]
 
 
-def _default_exact_factory() -> JoinOrderOptimizer:
-    return MPDP()
-
-
-class UnionDP(JoinOrderOptimizer):
+class UnionDP(HeuristicBackendMixin, JoinOrderOptimizer):
     """Partition the join graph, optimize fragments with MPDP, recurse."""
 
     name = "UnionDP"
@@ -56,14 +59,19 @@ class UnionDP(JoinOrderOptimizer):
     execution_style = "level_parallel"
 
     def __init__(self, k: int = 15,
-                 exact_factory: Callable[[], JoinOrderOptimizer] = _default_exact_factory,
-                 max_rounds: int = 64):
+                 exact_factory: Callable[..., JoinOrderOptimizer] = _default_exact_factory,
+                 max_rounds: int = 64,
+                 backend: str = "scalar", workers: Optional[int] = None):
         if k < 2:
             raise ValueError("UnionDP needs k >= 2")
         self.k = k
+        self._init_backend(backend, workers)
         self.exact_factory = exact_factory
+        #: The shared inner exact optimizer (one instance for every fragment
+        #: of every round — never re-created per ``exact_factory()``).
+        self.exact_optimizer = resolve_exact(exact_factory, backend, workers)
         self.max_rounds = max_rounds
-        self.name = f"UnionDP-{self.exact_factory().name} ({k})"
+        self.name = f"UnionDP-{self.exact_optimizer.name} ({k})"
 
     # ------------------------------------------------------------------ #
     def _run(self, query: QueryInfo, subset: int,
@@ -73,21 +81,22 @@ class UnionDP(JoinOrderOptimizer):
         current = query
         for _ in range(self.max_rounds):
             if current.n_relations <= self.k:
-                result = self.exact_factory().optimize(current)
+                result = self.exact_optimizer.optimize(current)
                 stats.merge(result.stats)
                 return result.plan
 
             partitions = self._partition(current)
             partition_plans: List[Plan] = []
-            # Every fragment below is optimized on ``current``'s graph with a
-            # different ``within=`` scope; the exact algorithm pulls its
-            # enumeration through the graph's shared EnumerationContext, so
-            # mask-keyed caches carry over from partition to partition.
+            # Every fragment below is optimized with the shared inner
+            # optimizer; on lane-width graphs all fragments run on
+            # ``current``'s graph with different ``within=`` scopes and share
+            # its EnumerationContext, on wider graphs each fragment is
+            # extracted into a compact sub-query so the kernels can run.
             for partition in partitions:
                 if bms.popcount(partition) == 1:
                     partition_plans.append(current.leaf_plan(bms.lowest_bit_index(partition)))
                     continue
-                result = self.exact_factory().optimize(current, subset=partition)
+                result = optimize_fragment(self.exact_optimizer, current, partition)
                 stats.merge(result.stats)
                 partition_plans.append(result.plan)
             if len(partitions) == current.n_relations:
@@ -104,11 +113,29 @@ class UnionDP(JoinOrderOptimizer):
         """Partition phase of Algorithm 4: greedy unions bounded by ``k``."""
         graph = query.graph
         uf = UnionFind(graph.n_relations)
+        batched = self._use_heuristic_kernels(graph.n_edges)
         # Pre-compute edge weights once (cost of joining across the edge).
         weighted_edges: List[Tuple[float, int, int]] = []
-        for edge in graph.edges:
-            weight = query.rows(bms.bit(edge.left) | bms.bit(edge.right))
-            weighted_edges.append((weight, edge.left, edge.right))
+        if batched:
+            from ..exec import pair_rows
+
+            estimates = pair_rows(
+                query, [(edge.left, edge.right) for edge in graph.edges])
+            weighted_edges = [
+                (float(weight), edge.left, edge.right)
+                for weight, edge in zip(estimates, graph.edges)
+            ]
+        else:
+            for edge in graph.edges:
+                weight = query.rows(bms.bit(edge.left) | bms.bit(edge.right))
+                weighted_edges.append((weight, edge.left, edge.right))
+
+        if batched:
+            # Batched greedy min-edge scan (bit-identical to the loop below).
+            from ..exec import greedy_union_partition
+
+            greedy_union_partition(uf, self.k, weighted_edges)
+            return uf.sets()
 
         # Repeatedly pick the admissible edge with the smallest combined
         # partition size (ties by increasing weight).  The combined sizes

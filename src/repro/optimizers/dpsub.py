@@ -57,9 +57,11 @@ class DPSub(KernelOptimizerMixin, JoinOrderOptimizer):
         self._init_backend(backend, workers)
 
     def _level_targets(self, query: QueryInfo, subset: int, size: int,
-                       stats: OptimizerStats) -> Tuple[int, ...]:
+                       stats: OptimizerStats,
+                       context: Optional[EnumerationContext] = None) -> Tuple[int, ...]:
         """The level's connected target sets, with candidate-set accounting."""
-        context = EnumerationContext.of(query.graph)
+        if context is None:
+            context = EnumerationContext.of(query.graph)
         if self.unrank_filter and subset == query.all_relations_mask:
             # GPU-style: unrank every combination, then filter connectivity
             # (the pipeline's unrank + filter phases); the connectivity check
@@ -84,7 +86,7 @@ class DPSub(KernelOptimizerMixin, JoinOrderOptimizer):
         n = bms.popcount(subset)
 
         for size in range(2, n + 1):
-            targets = self._level_targets(query, subset, size, stats)
+            targets = self._level_targets(query, subset, size, stats, context)
             backend.run_subset_level(state, size, targets)
 
         return memo[subset]

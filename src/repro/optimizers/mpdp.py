@@ -63,8 +63,13 @@ class MPDP(KernelOptimizerMixin, JoinOrderOptimizer):
     def __init__(self, backend: str = "scalar", workers: Optional[int] = None):
         self._init_backend(backend, workers)
 
-    def _level_targets(self, query: QueryInfo, subset: int, size: int) -> Tuple[int, ...]:
-        return EnumerationContext.of(query.graph).connected_subsets(size, within=subset)
+    def _level_targets(self, query: QueryInfo, subset: int, size: int,
+                       context: Optional[EnumerationContext] = None) -> Tuple[int, ...]:
+        if context is None:
+            # Convenience for one-off calls; per-run callers pass the
+            # context they already resolved (once per run, not per level).
+            context = EnumerationContext.of(query.graph)
+        return context.connected_subsets(size, within=subset)
 
     def _run(self, query: QueryInfo, subset: int,
              memo: MemoTable, stats: OptimizerStats) -> Plan:
@@ -75,7 +80,7 @@ class MPDP(KernelOptimizerMixin, JoinOrderOptimizer):
         n = bms.popcount(subset)
 
         for size in range(2, n + 1):
-            targets = self._level_targets(query, subset, size)
+            targets = self._level_targets(query, subset, size, context)
             stats.record_sets(size, len(targets))
             backend.run_block_level(state, size, targets)
 

@@ -57,10 +57,12 @@ def build_parser() -> argparse.ArgumentParser:
                         choices=("scalar", "vectorized", "multicore", "auto"),
                         default="auto",
                         help="kernel execution backend for the DP inner loops "
-                             "(default: auto — multicore worker processes or "
-                             "vectorized numpy kernels for large queries, "
-                             "scalar loops for small ones); plans are "
-                             "identical either way")
+                             "— both the exact rungs and the IDP2/LinDP/GOO "
+                             "heuristic tiers' inner optimizers and merge "
+                             "kernels (default: auto — multicore worker "
+                             "processes or vectorized numpy kernels for "
+                             "large queries, scalar loops for small ones); "
+                             "plans are identical either way")
     parser.add_argument("--workers", type=int, default=None,
                         help="worker-process count for the multicore backend "
                              "(default: one per usable CPU; must be >= 1)")

@@ -30,7 +30,7 @@ import dataclasses
 import threading
 import time
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from ..core.counters import OptimizerStats
 from ..core.plan import Plan
@@ -159,6 +159,12 @@ class AdaptivePlanner:
             knob only moves optimization time.
         workers: worker-process count for the multicore backend (``None``
             = one per usable CPU).  Must be a positive integer.
+        clock: monotonic time source for budget enforcement (defaults to
+            :func:`time.perf_counter`; injectable for deterministic tests).
+            Budget accounting is strictly *per tier*: a rung that overruns
+            and falls through does not charge its elapsed time against the
+            next rung's budget — each tier is measured against the full
+            budget on its own wall-clock only.
     """
 
     def __init__(
@@ -175,6 +181,7 @@ class AdaptivePlanner:
         idp_k: int = 10,
         backend: str = "auto",
         workers: Optional[int] = None,
+        clock: Optional[Callable[[], float]] = None,
     ):
         if not (2 <= exact_threshold <= tree_threshold <= idp_threshold <= lindp_threshold):
             raise ValueError(
@@ -204,6 +211,7 @@ class AdaptivePlanner:
         self.idp_k = idp_k
         self.backend = backend
         self.workers = workers
+        self._clock = clock if clock is not None else time.perf_counter
         #: Folded into every cache key: two planners may share a PlanCache,
         #: and entries must never cross routing policies (a heuristic-leaning
         #: planner's GOO plan is the wrong answer for a default planner).
@@ -255,19 +263,24 @@ class AdaptivePlanner:
         return usable
 
     def _create_rung(self, rung: str) -> JoinOrderOptimizer:
+        kwargs = {}
         if self.registry.capabilities(rung).supports_backend("vectorized"):
-            return self.registry.create(rung, backend=self.backend,
-                                        workers=self.workers)
+            # Every backend-capable rung gets the knob — the exact rungs AND
+            # the heuristic tiers, whose inner exact optimizers used to be
+            # re-instantiated with defaults and silently ran scalar for
+            # every query past the exact thresholds (exactly the regime the
+            # kernels were built for).
+            kwargs.update(backend=self.backend, workers=self.workers)
         if rung == _LADDER_IDP:
-            return self.registry.create(rung, k=self.idp_k)
-        if rung == _LADDER_LINDP:
+            kwargs.update(k=self.idp_k)
+        elif rung == _LADDER_LINDP:
             # As a fallback rung LinDP must genuinely degrade: AdaptiveLinDP's
             # default re-runs exact DPccp below 14 relations, which would make
             # a budget fallback from exact MPDP run a *second* exponential DP.
             # exact_threshold=0 keeps it on the linearized O(n^3) path (and
             # on IDP2-over-linearized beyond its linearized threshold).
-            return self.registry.create(rung, exact_threshold=0)
-        return self.registry.create(rung)
+            kwargs.update(exact_threshold=0)
+        return self.registry.create(rung, **kwargs)
 
     # ------------------------------------------------------------------ #
     # Planning
@@ -375,9 +388,13 @@ class AdaptivePlanner:
         over_budget = False
         for index, rung in enumerate(runnable):
             optimizer = self._create_rung(rung)
-            start = time.perf_counter()
+            # Per-tier charging: the clock restarts for every rung, so time
+            # burned by an over-budget tier that fell through is never
+            # double-charged against the tiers below it (it still counts
+            # toward the decision's total elapsed_seconds).
+            start = self._clock()
             result = optimizer.optimize(query)
-            elapsed = time.perf_counter() - start
+            elapsed = self._clock() - start
             total_elapsed += elapsed
             exceeded = budget is not None and elapsed > budget
             if exceeded:

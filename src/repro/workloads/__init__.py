@@ -12,6 +12,7 @@ from .musicbrainz import (
     MusicBrainzWorkload,
     build_musicbrainz_catalog,
     musicbrainz_query,
+    scaled_musicbrainz_query,
 )
 from .job import build_imdb_catalog, job_query, job_query_suite
 from .tpch import build_tpch_catalog, figure1_query, tpch_join_query
@@ -26,6 +27,7 @@ __all__ = [
     "MusicBrainzWorkload",
     "build_musicbrainz_catalog",
     "musicbrainz_query",
+    "scaled_musicbrainz_query",
     "build_imdb_catalog",
     "job_query",
     "job_query_suite",

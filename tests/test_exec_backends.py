@@ -254,15 +254,19 @@ class TestBackendResolution:
         assert isinstance(resolve_backend("vectorized", query), ScalarBackend)
 
     def test_capabilities_report_backends(self):
-        for name in ("MPDP", "MPDP:Tree", "DPsub", "DPsize", "PDP"):
+        # The exact kernel-pipeline optimizers AND the kernelized heuristic
+        # ladder all advertise the backend knob.
+        for name in ("MPDP", "MPDP:Tree", "DPsub", "DPsize", "PDP",
+                     "GOO", "IDP1", "IDP2", "UnionDP", "LinDP", "LinearizedDP"):
             capabilities = DEFAULT_REGISTRY.capabilities(name)
             assert capabilities.supports_backend("vectorized"), name
             assert capabilities.supports_backend("scalar")
             assert capabilities.supports_backend("auto")
-        goo = DEFAULT_REGISTRY.capabilities("GOO")
-        assert not goo.supports_backend("vectorized")
-        assert not goo.supports_backend("auto")
-        assert goo.supports_backend("scalar")
+        # Heuristics with no kernelized loops stay scalar-only.
+        for name in ("IKKBZ", "GE-QO"):
+            capabilities = DEFAULT_REGISTRY.capabilities(name)
+            assert not capabilities.supports_backend("vectorized"), name
+            assert capabilities.supports_backend("scalar")
 
     def test_registry_builds_backend_instances(self):
         optimizer = DEFAULT_REGISTRY.create("MPDP", backend="vectorized")

@@ -176,3 +176,71 @@ def test_differential_case(index):
         for name, make_heuristic in picks:
             heuristic = make_heuristic().optimize(factory())
             assert heuristic.cost >= optimum, f"{context}: {name}"
+
+
+# --------------------------------------------------------------------- #
+# Heuristic band: the kernelized ladder is bit-identical across backends
+# --------------------------------------------------------------------- #
+N_HEURISTIC_CASES = 16
+
+#: The kernelized ladder drivers (ISSUE 5): every one must produce
+#: bit-identical plans across scalar / vectorized / multicore.
+BAND_FACTORIES = (
+    ("GOO", lambda backend, workers: DEFAULT_REGISTRY.create(
+        "GOO", backend=backend, workers=workers)),
+    ("IDP2", lambda backend, workers: DEFAULT_REGISTRY.create(
+        "IDP2", k=6, backend=backend, workers=workers)),
+    ("UnionDP", lambda backend, workers: DEFAULT_REGISTRY.create(
+        "UnionDP", k=6, backend=backend, workers=workers)),
+    ("LinDP", lambda backend, workers: DEFAULT_REGISTRY.create(
+        "LinDP", exact_threshold=0, backend=backend, workers=workers)),
+)
+
+
+def make_heuristic_case(index: int):
+    """Seeded 10-60-relation case: 20-60 for the large band, plus a few
+    exact-checkable sizes (<= 14) so the optimum bound stays exercised."""
+    rng = random.Random(index * 7919 + 101)
+    n = rng.choice((10, 12, 14)) if index % 4 == 0 else rng.randint(20, 60)
+    shape = rng.choice(["chain", "star", "snowflake", "cycle", "random_sparse"])
+    seed = rng.randrange(1 << 20)
+    cost_model_factory = CoutCostModel if index % 2 else PostgresCostModel
+
+    def factory():
+        model = cost_model_factory()
+        if shape == "chain":
+            return chain_query(n, seed=seed, cost_model=model)
+        if shape == "star":
+            return star_query(n, seed=seed, cost_model=model)
+        if shape == "snowflake":
+            return snowflake_query(n, seed=seed, cost_model=model)
+        if shape == "cycle":
+            return cycle_query(n, seed=seed, cost_model=model)
+        return random_connected_query(n, extra_edge_probability=0.1,
+                                      seed=seed, cost_model=model)
+
+    return factory, {"n": n, "shape": shape, "seed": seed, "index": index}
+
+
+@pytest.mark.multicore
+@pytest.mark.parametrize("index", range(N_HEURISTIC_CASES))
+def test_heuristic_band_case(index):
+    factory, meta = make_heuristic_case(index)
+    context = f"heuristic band case {meta}"
+    workers = WORKER_ROTATION[index % len(WORKER_ROTATION)]
+
+    optimum = None
+    if meta["n"] <= 14:
+        optimum = MPDP(backend="scalar").optimize(factory()).cost
+
+    for name, make in BAND_FACTORIES:
+        reference = make("scalar", None).optimize(factory())
+        reference.plan.validate()
+        for backend in ("vectorized", "multicore"):
+            other = make(backend, workers if backend == "multicore"
+                         else None).optimize(factory())
+            assert_bit_identical(
+                reference, other,
+                f"{context}: {name} {backend} w={workers}")
+        if optimum is not None:
+            assert reference.cost >= optimum, f"{context}: {name} vs optimum"

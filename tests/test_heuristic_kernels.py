@@ -1,0 +1,385 @@
+"""Kernelized heuristic ladder (ISSUE 5): fragment extraction, batched
+kernels, shared inner-optimizer reuse and the cache-reuse contracts.
+
+Complements the cross-backend fuzz band in ``test_fuzz_differential.py``
+with targeted unit coverage:
+
+* ``QueryInfo.extract`` — bit-identity with subset-scoped optimization
+  (same plans, costs, counters), leaf-plan sharing, root-chain routing;
+* the batched heuristic kernels — ``lindp_merge``'s interval DP,
+  ``greedy_union_partition``'s union rounds and ``pair_rows`` against
+  their scalar reference loops;
+* the vectorized log-space cardinality fold (``rows_batch`` on contracted
+  queries) — exact equality with the scalar estimator walk;
+* driver plumbing — one shared inner exact optimizer per driver (never one
+  per fragment), bounded ``EnumerationContext.of`` traffic, backend knob
+  validation;
+* the scaled MusicBrainz workload generator.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import bitmapset as bms
+from repro.core.enumeration import EnumerationContext
+from repro.core.unionfind import UnionFind
+from repro.cost.cout import CoutCostModel
+from repro.exec import greedy_union_partition, lindp_merge, pair_rows
+from repro.heuristics import GOO, IDP1, IDP2, AdaptiveLinDP, LinearizedDP, UnionDP
+from repro.heuristics.common import optimize_fragment
+from repro.heuristics.ikkbz import IKKBZ
+from repro.optimizers.mpdp import MPDP
+from repro.workloads import (
+    chain_query,
+    clique_query,
+    random_connected_query,
+    scaled_musicbrainz_query,
+    snowflake_query,
+    star_query,
+)
+
+COUNTER_FIELDS = ("evaluated_pairs", "ccp_pairs", "level_pairs", "level_ccp",
+                  "connected_sets", "memo_entries")
+
+
+def assert_results_identical(reference, other, context=""):
+    assert other.cost == reference.cost, context
+    assert other.plan == reference.plan, context
+    for field in COUNTER_FIELDS:
+        assert getattr(other.stats, field) == \
+            getattr(reference.stats, field), f"{context}: {field}"
+
+
+def connected_fragment(query, size, start=0):
+    """Grow a connected vertex set of ``size`` from ``start``."""
+    context = EnumerationContext.of(query.graph)
+    fragment = bms.bit(start)
+    while bms.popcount(fragment) < size:
+        neighbours = context.neighbours_of_set(fragment)
+        if neighbours == 0:
+            break
+        fragment |= neighbours & -neighbours
+    return fragment
+
+
+# --------------------------------------------------------------------- #
+# QueryInfo.extract
+# --------------------------------------------------------------------- #
+class TestExtract:
+    @pytest.mark.parametrize("n,extra", [(20, 0.2), (70, 0.05), (90, 0.02)])
+    def test_extracted_fragment_optimizes_bit_identically(self, n, extra):
+        query = random_connected_query(n, extra_edge_probability=extra, seed=9)
+        fragment = connected_fragment(query, 9)
+        direct = MPDP().optimize(query, subset=fragment)
+        extracted = MPDP().optimize(query.extract(fragment))
+        assert_results_identical(direct, extracted, f"extract n={n}")
+
+    def test_extracted_leaf_plans_are_shared_objects(self):
+        query = chain_query(12, seed=0)
+        fragment = bms.from_indices([2, 3, 4, 5])
+        sub = query.extract(fragment)
+        for local, original in enumerate(bms.iter_bits(fragment)):
+            assert sub.leaf_plan(local) is query.leaf_plan(original)
+
+    def test_extracted_rows_route_through_root_estimator(self):
+        query = chain_query(15, seed=1)
+        fragment = bms.from_indices([4, 5, 6, 7])
+        sub = query.extract(fragment)
+        assert sub.is_contracted and sub.root is query
+        # Local mask {0, 1} of the fragment == root mask {4, 5}.
+        assert sub.rows(0b11) == query.rows(bms.from_indices([4, 5]))
+
+    def test_extract_of_contracted_query_chains_to_the_same_root(self):
+        query = chain_query(12, seed=2)
+        goo = GOO().optimize(query)
+        partitions = [bms.from_indices([0, 1, 2])] + [
+            bms.bit(v) for v in range(3, 12)]
+        plans = [MPDP().optimize(query, subset=partitions[0]).plan] + [
+            query.leaf_plan(v) for v in range(3, 12)]
+        contracted = query.contract(partitions, plans)
+        sub = contracted.extract(bms.from_indices([0, 1, 2]))
+        assert sub.root is query
+        assert sub.rows(0b1) == contracted.rows(0b1)
+        del goo
+
+    def test_extract_rejects_bad_subsets(self):
+        query = chain_query(6, seed=0)
+        with pytest.raises(ValueError):
+            query.extract(0)
+        with pytest.raises(ValueError):
+            query.extract(bms.bit(6))
+
+    def test_wide_graph_fragments_are_extracted_by_the_drivers(self, monkeypatch):
+        """optimize_fragment must route >62-relation fragments through
+        extract() (lane-width rule), and <=62-relation queries through the
+        historical subset-scoped path (context sharing rule)."""
+        calls = {"extract": 0}
+        original = type(chain_query(4, seed=0)).extract
+
+        def counting(self, subset, name=None):
+            calls["extract"] += 1
+            return original(self, subset, name)
+
+        monkeypatch.setattr("repro.core.query.QueryInfo.extract", counting)
+        wide = chain_query(70, seed=0)
+        optimize_fragment(MPDP(), wide, connected_fragment(wide, 6))
+        assert calls["extract"] == 1
+        narrow = chain_query(30, seed=0)
+        optimize_fragment(MPDP(), narrow, connected_fragment(narrow, 6))
+        assert calls["extract"] == 1  # unchanged
+
+
+# --------------------------------------------------------------------- #
+# Batched kernels vs their scalar reference loops
+# --------------------------------------------------------------------- #
+class TestLinDPKernel:
+    @pytest.mark.parametrize("make_query", [
+        lambda: chain_query(30, seed=3),
+        lambda: star_query(30, seed=3),
+        lambda: snowflake_query(40, seed=4),
+        lambda: random_connected_query(80, extra_edge_probability=0.04,
+                                       seed=5),
+        lambda: snowflake_query(25, seed=6, cost_model=CoutCostModel()),
+    ])
+    def test_kernel_matches_scalar_merge(self, make_query):
+        scalar = LinearizedDP(backend="scalar").optimize(make_query())
+        kernel = LinearizedDP(backend="vectorized").optimize(make_query())
+        assert_results_identical(scalar, kernel)
+
+    def test_kernel_on_extracted_wide_fragment(self):
+        query = random_connected_query(75, extra_edge_probability=0.04, seed=8)
+        sub = query.extract(connected_fragment(query, 20))
+        scalar = LinearizedDP(backend="scalar").optimize(sub)
+        kernel = LinearizedDP(backend="vectorized").optimize(sub)
+        assert_results_identical(scalar, kernel)
+
+    def test_single_relation_order(self):
+        query = chain_query(2, seed=0)
+        order = IKKBZ().linear_order(query, query.all_relations_mask)
+        from repro.core.counters import OptimizerStats
+
+        plan = lindp_merge(query, order, OptimizerStats(algorithm="t"))
+        assert plan is not None and plan.cost > 0
+
+
+class TestGreedyUnionPartitionKernel:
+    @pytest.mark.parametrize("make_query,k", [
+        (lambda: chain_query(40, seed=1), 7),
+        (lambda: star_query(40, seed=1), 7),
+        (lambda: clique_query(12, seed=1), 5),
+        (lambda: random_connected_query(60, extra_edge_probability=0.1,
+                                        seed=2), 9),
+        (lambda: scaled_musicbrainz_query(120, seed=2), 12),
+    ])
+    def test_matches_scalar_scan(self, make_query, k):
+        query = make_query()
+        weighted = [(query.rows(bms.bit(e.left) | bms.bit(e.right)),
+                     e.left, e.right) for e in query.graph.edges]
+
+        scalar_uf = UnionFind(query.n_relations)
+        active = list(weighted)
+        while True:
+            best_key = None
+            best_index = -1
+            for index, (weight, left, right) in enumerate(active):
+                if scalar_uf.connected(left, right):
+                    continue
+                combined = scalar_uf.set_size(left) + scalar_uf.set_size(right)
+                if combined > k:
+                    continue
+                key = (combined, weight)
+                if best_key is None or key < best_key:
+                    best_key = key
+                    best_index = index
+            if best_index < 0:
+                break
+            _, left, right = active.pop(best_index)
+            scalar_uf.union(left, right)
+
+        kernel_uf = UnionFind(query.n_relations)
+        greedy_union_partition(kernel_uf, k, weighted)
+        assert kernel_uf.sets() == scalar_uf.sets()
+
+    def test_empty_edge_list_is_a_noop(self):
+        uf = UnionFind(3)
+        greedy_union_partition(uf, 5, [])
+        assert uf.n_sets == 3
+
+
+class TestPairRowsKernel:
+    def test_matches_scalar_pair_estimates(self):
+        query = scaled_musicbrainz_query(150, seed=7)
+        pairs = [(e.left, e.right) for e in query.graph.edges]
+        batched = pair_rows(query, pairs)
+        for estimate, (a, b) in zip(batched, pairs):
+            assert float(estimate) == query.rows(bms.bit(a) | bms.bit(b))
+
+
+class TestCardinalityFold:
+    """rows_batch's vectorized log-space fold == the scalar estimator walk."""
+
+    def _random_masks(self, n, count, seed):
+        rng = random.Random(seed)
+        return [rng.randrange(1, 1 << n) for _ in range(count)]
+
+    @pytest.mark.parametrize("make_query", [
+        lambda: random_connected_query(70, extra_edge_probability=0.05, seed=3),
+        lambda: scaled_musicbrainz_query(100, seed=4),
+        lambda: clique_query(10, seed=5),
+    ])
+    def test_fold_equals_scalar_rows_on_extracted_fragments(self, make_query):
+        query = make_query()
+        size = min(10, query.n_relations - 1)
+        sub = query.extract(connected_fragment(query, size))
+        masks = self._random_masks(sub.n_relations, 200, seed=11)
+        batched = sub.rows_batch(masks)
+        for estimate, mask in zip(batched, masks):
+            assert float(estimate) == sub.rows(mask), bin(mask)
+
+    def test_fold_on_contracted_query_with_composites(self):
+        query = snowflake_query(20, seed=6)
+        partitions = [connected_fragment(query, 5)]
+        rest = query.all_relations_mask & ~partitions[0]
+        partitions += [bms.bit(v) for v in bms.iter_bits(rest)]
+        plans = [MPDP().optimize(query, subset=partitions[0]).plan] + [
+            query.leaf_plan(v) for v in bms.iter_bits(rest)]
+        contracted = query.contract(partitions, plans)
+        masks = self._random_masks(contracted.n_relations, 100, seed=12)
+        batched = contracted.rows_batch(masks)
+        for estimate, mask in zip(batched, masks):
+            assert float(estimate) == contracted.rows(mask)
+
+
+# --------------------------------------------------------------------- #
+# Driver plumbing: shared inner optimizer, bounded context traffic
+# --------------------------------------------------------------------- #
+class TestSharedInnerOptimizer:
+    @pytest.mark.parametrize("driver_factory", [
+        lambda factory: IDP2(k=5, exact_factory=factory),
+        lambda factory: IDP1(k=5, exact_factory=factory),
+        lambda factory: UnionDP(k=5, exact_factory=factory),
+    ])
+    def test_exact_factory_called_once_per_driver(self, driver_factory):
+        """Regression: the seed code called exact_factory() once per
+        fragment, discarding warm caches; now one shared instance serves
+        every fragment of every optimize() call."""
+        calls = {"count": 0}
+
+        def counting_factory(**kwargs):
+            calls["count"] += 1
+            return MPDP(**kwargs)
+
+        driver = driver_factory(counting_factory)
+        assert calls["count"] == 1
+        query = random_connected_query(30, extra_edge_probability=0.08, seed=3)
+        driver.optimize(query)
+        driver.optimize(random_connected_query(25, extra_edge_probability=0.1,
+                                               seed=4))
+        assert calls["count"] == 1
+
+    def test_legacy_zero_argument_factories_still_work(self):
+        driver = IDP2(k=5, exact_factory=lambda: MPDP())
+        assert driver.exact_optimizer.backend == "scalar"
+        result = driver.optimize(chain_query(12, seed=1))
+        assert result.cost == IDP2(k=5).optimize(chain_query(12, seed=1)).cost
+
+    def test_partial_signature_factory_still_gets_the_backend(self):
+        """A factory accepting backend but not workers must still receive
+        the backend — dropping the whole knob on a partial signature would
+        reintroduce the silent-scalar bug."""
+        captured = {}
+
+        def factory(backend="scalar"):
+            captured["backend"] = backend
+            return MPDP(backend=backend)
+
+        driver = IDP2(k=5, exact_factory=factory, backend="vectorized")
+        assert captured["backend"] == "vectorized"
+        assert driver.exact_optimizer.backend == "vectorized"
+
+    def test_partial_factory_preconfiguration_wins(self):
+        """A functools.partial with its own backend binding must keep it —
+        the driver's default never overrides explicit user configuration."""
+        import functools
+
+        driver = IDP2(k=5,
+                      exact_factory=functools.partial(MPDP,
+                                                      backend="vectorized"))
+        assert driver.exact_optimizer.backend == "vectorized"
+
+    def test_backend_knob_reaches_the_shared_instance(self):
+        driver = IDP2(k=5, backend="multicore", workers=3)
+        assert driver.exact_optimizer.backend == "multicore"
+        assert driver.exact_optimizer.workers == 3
+        assert driver.initial_heuristic.backend == "multicore"
+
+    def test_adaptive_lindp_reuses_rung_instances(self):
+        driver = AdaptiveLinDP(backend="vectorized")
+        first_linearized = driver._linearized_inner
+        driver.optimize(chain_query(30, seed=2))
+        driver.optimize(chain_query(40, seed=3))
+        assert driver._linearized_inner is first_linearized
+
+    @pytest.mark.parametrize("cls", [GOO, IDP1, IDP2, UnionDP, LinearizedDP,
+                                     AdaptiveLinDP])
+    def test_backend_validation(self, cls):
+        with pytest.raises(ValueError):
+            cls(backend="warp-drive")
+        with pytest.raises(ValueError):
+            cls(backend="multicore", workers=0)
+
+
+class TestEnumerationContextTraffic:
+    @pytest.mark.parametrize("driver_factory", [
+        lambda: UnionDP(k=8),
+        lambda: IDP2(k=8),
+    ])
+    def test_of_calls_bounded_per_optimize(self, driver_factory, monkeypatch):
+        """The drivers and their shared inner optimizer resolve the
+        enumeration context O(fragments + levels) times — never O(pairs)
+        (PR 3's `_edge_splits` hoist, extended to the heuristic tier)."""
+        query = random_connected_query(30, extra_edge_probability=0.08, seed=6)
+        EnumerationContext.of(query.graph)  # pre-create outside the count
+        counts = {"of": 0}
+        original = EnumerationContext.of.__func__
+
+        def counting_of(cls, graph):
+            counts["of"] += 1
+            return original(cls, graph)
+
+        monkeypatch.setattr(EnumerationContext, "of", classmethod(counting_of))
+        result = driver_factory().optimize(query)
+        assert result.stats.evaluated_pairs > 200
+        # Loose ceiling: a handful of resolutions per fragment/round, far
+        # below one per evaluated pair.
+        assert counts["of"] <= 6 * query.n_relations
+        assert counts["of"] < result.stats.evaluated_pairs
+
+
+# --------------------------------------------------------------------- #
+# Scaled MusicBrainz workload
+# --------------------------------------------------------------------- #
+class TestScaledMusicBrainz:
+    def test_deterministic_and_connected(self):
+        first = scaled_musicbrainz_query(130, seed=5)
+        second = scaled_musicbrainz_query(130, seed=5)
+        assert first.graph.n_edges == second.graph.n_edges
+        assert [e.endpoints for e in first.graph.edges] == \
+            [e.endpoints for e in second.graph.edges]
+        assert EnumerationContext.of(first.graph).is_connected(
+            first.all_relations_mask)
+
+    def test_scales_past_the_56_table_schema(self):
+        query = scaled_musicbrainz_query(300, seed=1)
+        assert query.n_relations == 300
+        assert query.graph.n_edges >= 299
+        shard_names = {name.rsplit("__s", 1)[0]
+                       for name in query.graph.relation_names}
+        assert len(shard_names) <= 56
+
+    def test_rejects_tiny_sizes(self):
+        with pytest.raises(ValueError):
+            scaled_musicbrainz_query(1)

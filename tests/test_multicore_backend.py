@@ -307,10 +307,11 @@ class TestResolutionAndKnobs:
                           VectorizedBackend)
 
     def test_capabilities_report_multicore(self):
-        for name in ("MPDP", "MPDP:Tree", "DPsub", "DPsize", "PDP"):
+        for name in ("MPDP", "MPDP:Tree", "DPsub", "DPsize", "PDP",
+                     "GOO", "IDP2", "UnionDP", "LinDP"):
             capabilities = DEFAULT_REGISTRY.capabilities(name)
             assert capabilities.supports_backend("multicore"), name
-        assert not DEFAULT_REGISTRY.capabilities("GOO").supports_backend(
+        assert not DEFAULT_REGISTRY.capabilities("IKKBZ").supports_backend(
             "multicore")
 
     def test_registry_builds_multicore_instances(self):

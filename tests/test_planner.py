@@ -826,3 +826,143 @@ class TestReferencedTables:
 
         sql = "select * from orders o, lineitem, orders o2 where o.x = lineitem.x and o2.y = lineitem.y"
         assert referenced_tables(sql) == ["orders", "lineitem", "orders"]
+
+
+# --------------------------------------------------------------------- #
+# Kernelized heuristic ladder: backend threading (ISSUE 5)
+# --------------------------------------------------------------------- #
+class TestHeuristicTierBackendThreading:
+    """The planner's backend knob must reach every backend-capable tier."""
+
+    def _plan_capturing_rung(self, planner, query):
+        created = []
+        original = planner._create_rung
+
+        def capture(rung):
+            optimizer = original(rung)
+            created.append((rung, optimizer))
+            return optimizer
+
+        planner._create_rung = capture
+        outcome = planner.plan(query)
+        planner._create_rung = original
+        return outcome, dict(created)
+
+    @pytest.mark.parametrize("n,rung", [(30, "IDP2"), (150, "LinDP"), (310, "GOO")])
+    def test_decision_records_effective_backend_at_every_tier(self, n, rung):
+        planner = AdaptivePlanner(enable_cache=False, backend="vectorized")
+        outcome, created = self._plan_capturing_rung(
+            planner, chain_query(n, seed=0))
+        assert outcome.decision.algorithm == rung
+        assert outcome.decision.backend == "vectorized"
+        assert created[rung].backend == "vectorized"
+
+    def test_multicore_100_relation_plan_constructs_inner_with_backend(self):
+        """Regression: a backend="multicore" 100-relation plan must build
+        its IDP2 tier (and that tier's shared inner exact optimizer) with
+        the multicore backend — the seed-era `_default_exact_factory`
+        dropped the knob and silently ran scalar."""
+        planner = AdaptivePlanner(enable_cache=False, backend="multicore",
+                                  workers=2)
+        outcome, created = self._plan_capturing_rung(
+            planner, chain_query(100, seed=3))
+        assert outcome.decision.algorithm == "IDP2"
+        assert outcome.decision.backend == "multicore"
+        assert outcome.decision.workers == 2
+        idp = created["IDP2"]
+        assert idp.backend == "multicore"
+        assert idp.workers == 2
+        assert idp.k == planner.idp_k
+        # The shared inner exact optimizer carries the knob too.
+        assert idp.exact_optimizer.backend == "multicore"
+        assert idp.exact_optimizer.workers == 2
+
+    def test_lindp_tier_gets_backend_and_degraded_exact_threshold(self):
+        planner = AdaptivePlanner(enable_cache=False, backend="vectorized")
+        outcome, created = self._plan_capturing_rung(
+            planner, chain_query(150, seed=1))
+        lindp = created["LinDP"]
+        assert lindp.backend == "vectorized"
+        assert lindp.exact_threshold == 0
+        assert lindp._linearized_inner.backend == "vectorized"
+        assert lindp._idp_inner.backend == "vectorized"
+        assert lindp._idp_inner.exact_optimizer.backend == "vectorized"
+
+    def test_heuristic_tier_results_bit_identical_across_backends(self):
+        query = lambda: chain_query(40, seed=5)
+        outcomes = {}
+        for backend in ("scalar", "vectorized", "multicore"):
+            planner = AdaptivePlanner(enable_cache=False, backend=backend,
+                                      workers=2 if backend == "multicore" else None)
+            outcomes[backend] = planner.plan(query())
+        reference = outcomes["scalar"]
+        assert reference.decision.algorithm == "IDP2"
+        for backend, outcome in outcomes.items():
+            assert outcome.cost == reference.cost, backend
+            assert outcome.plan == reference.plan, backend
+
+
+class TestPerTierBudgetCharging:
+    """Each tier is charged only its own wall-clock against the budget."""
+
+    class FakeClock:
+        """Deterministic clock: each optimize() consumes a scripted cost."""
+
+        def __init__(self):
+            self.now = 0.0
+
+        def __call__(self):
+            return self.now
+
+    def _planner_with_scripted_tiers(self, tier_costs, budget):
+        clock = self.FakeClock()
+        planner = AdaptivePlanner(enable_cache=False,
+                                  time_budget_seconds=budget, clock=clock)
+        original = planner._create_rung
+
+        def scripted(rung):
+            optimizer = original(rung)
+            inner_optimize = optimizer.optimize
+
+            def optimize(query, subset=None):
+                clock.now += tier_costs.get(rung, 0.0)
+                return inner_optimize(query, subset)
+
+            optimizer.optimize = optimize
+            return optimizer
+
+        planner._create_rung = scripted
+        return planner
+
+    def test_exact_overrun_is_not_charged_against_idp_tier(self):
+        # Exact blows the 1.0s budget (5.0s); IDP2 takes 0.4s of its own.
+        # With per-tier charging IDP2 is within budget; double-charging the
+        # exact tier's 5.0s would mark IDP2 over budget too.
+        planner = self._planner_with_scripted_tiers(
+            {"MPDP:Tree": 5.0, "IDP2": 0.4}, budget=1.0)
+        outcome = planner.plan(chain_query(10, seed=2))
+        assert outcome.decision.fallbacks == ("MPDP:Tree",)
+        assert outcome.decision.algorithm == "IDP2"
+        assert not outcome.decision.over_budget
+        # Only the overrunning tier is remembered as over budget.
+        assert planner._budget_exceeded == {"MPDP:Tree": 10}
+        # Total elapsed still accounts for every tier that ran.
+        assert outcome.decision.elapsed_seconds == pytest.approx(5.4)
+
+    def test_tier_charged_its_own_overrun(self):
+        planner = self._planner_with_scripted_tiers(
+            {"MPDP:Tree": 5.0, "IDP2": 3.0, "LinDP": 0.2}, budget=1.0)
+        outcome = planner.plan(chain_query(10, seed=2))
+        assert outcome.decision.fallbacks == ("MPDP:Tree", "IDP2")
+        assert outcome.decision.algorithm == "LinDP"
+        assert not outcome.decision.over_budget
+        assert set(planner._budget_exceeded) == {"MPDP:Tree", "IDP2"}
+
+    def test_within_budget_tiers_never_fall_through(self):
+        planner = self._planner_with_scripted_tiers(
+            {"MPDP:Tree": 0.3, "IDP2": 0.4}, budget=1.0)
+        outcome = planner.plan(chain_query(10, seed=2))
+        assert outcome.decision.algorithm == "MPDP:Tree"
+        assert outcome.decision.fallbacks == ()
+        assert not outcome.decision.over_budget
+        assert planner._budget_exceeded == {}
