@@ -138,7 +138,8 @@ class PlanArena:
     # ------------------------------------------------------------------ #
     def record_level(self, keys: Sequence[int], costs: Sequence[float],
                      rows: Sequence[float], lefts: Sequence[int],
-                     rights: Sequence[int]) -> None:
+                     rights: Sequence[int],
+                     size: Optional[int] = None) -> None:
         """Bulk-insert one DP level's winners, in the given order.
 
         Every key must be new (subset-driven DP plans each connected set
@@ -146,14 +147,30 @@ class PlanArena:
         winners already applied the memo's first-cheapest-wins rule, so each
         entry arrives final.  Counter semantics match one successful
         ``put`` per key.
+
+        ``size`` is the shared member count of every key in the level (a DP
+        level inserts one size class by construction); passing it skips the
+        per-key popcount, which on wide graphs is an arbitrary-precision
+        walk per mask.
         """
+        bucket = (None if size is None
+                  else self._keys_by_size.setdefault(size, []))
         for key, cost, out_rows, left, right in zip(keys, costs, rows, lefts, rights):
             key = int(key)
             if key in self._index:
                 raise ValueError(
                     f"arena already holds {bms.format_set(key)}; record_level "
                     "is for fresh per-level winners")
-            self._append(key, float(cost), float(out_rows), (int(left), int(right)))
+            if bucket is None:
+                self._append(key, float(cost), float(out_rows),
+                             (int(left), int(right)))
+            else:
+                self._index[key] = len(self._keys)
+                self._keys.append(key)
+                self._cost.append(float(cost))
+                self._rows.append(float(out_rows))
+                self._split.append((int(left), int(right)))
+                bucket.append(key)
         self.n_updates += len(keys)
         self.n_improvements += len(keys)
 

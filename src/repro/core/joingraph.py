@@ -93,6 +93,11 @@ class JoinGraph:
         #: the LRU bound keeps from crowding out the reused ones.
         self._edges_within_cache: "OrderedDict[int, Tuple[JoinEdge, ...]]" = OrderedDict()
         self._edges_within_cache_size = 4096
+        #: Lazily built per-vertex incident edge *index* lists (indices into
+        #: ``_edges``), backing the sparse :meth:`edges_within` path.  Index
+        #: lists survive same-pair predicate merges (the edge object is
+        #: replaced in place) and are dropped when a new edge is added.
+        self._incident_edges: Optional[List[List[int]]] = None
         #: Lazily created :class:`~repro.core.enumeration.EnumerationContext`
         #: (see :meth:`EnumerationContext.of`); dropped whenever an edge is
         #: added so derived connectivity state never goes stale.
@@ -147,6 +152,7 @@ class JoinGraph:
         """Drop caches derived from the edge set (called on every mutation)."""
         if self._edges_within_cache:
             self._edges_within_cache.clear()
+        self._incident_edges = None
         self._enum_context = None
 
     def close_equivalence_classes(self, equivalence_classes: Iterable[Iterable[int]],
@@ -219,17 +225,44 @@ class JoinGraph:
 
         Results are served from a bounded LRU cache keyed by ``mask``; the
         cache is invalidated whenever an edge is added.
+
+        Small masks on edge-rich graphs take a sparse path: only edges
+        incident to a member vertex are tested (via lazily built per-vertex
+        incident index lists), and emitting the surviving candidates in
+        ascending edge-index order reproduces the full scan's graph-order
+        tuple exactly — callers that fold per-edge terms in sequence (the
+        cardinality estimator's log-space accumulation) see a bit-identical
+        schedule.
         """
         cache = self._edges_within_cache
         cached = cache.get(mask)
         if cached is not None:
             cache.move_to_end(mask)
             return cached
-        result = tuple(
-            edge
-            for edge, edge_mask in zip(self._edges, self._edge_masks)
-            if edge_mask & ~mask == 0
-        )
+        edges = self._edges
+        edge_masks = self._edge_masks
+        if mask.bit_count() * 8 < len(edges):
+            incident = self._incident_edges
+            if incident is None:
+                incident = [[] for _ in range(self.n_relations)]
+                for index, edge in enumerate(edges):
+                    incident[edge.left].append(index)
+                    incident[edge.right].append(index)
+                self._incident_edges = incident
+            candidates: set = set()
+            remaining = mask
+            while remaining:
+                low = remaining & -remaining
+                candidates.update(incident[low.bit_length() - 1])
+                remaining ^= low
+            result = tuple(edges[index] for index in sorted(candidates)
+                           if edge_masks[index] & ~mask == 0)
+        else:
+            result = tuple(
+                edge
+                for edge, edge_mask in zip(edges, edge_masks)
+                if edge_mask & ~mask == 0
+            )
         if len(cache) >= self._edges_within_cache_size:
             cache.popitem(last=False)
         cache[mask] = result

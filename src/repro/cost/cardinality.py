@@ -40,6 +40,10 @@ class CardinalityEstimator:
         self.base_cardinalities = list(base_cardinalities)
         self.min_rows = min_rows
         self._cache: Dict[int, float] = {}
+        #: Per-scope fold schedules for :meth:`rows_batch`'s remap path,
+        #: keyed by the run's bit-remap spec (see
+        #: :func:`repro.core.widebitmap.view_for`).
+        self._fold_steps: Dict[tuple, tuple] = {}
 
     def base_rows(self, relation: int) -> float:
         """Cardinality of a single base relation (after pushed-down selections)."""
@@ -117,25 +121,129 @@ class CardinalityEstimator:
                     else 10.0 ** log_estimate)
         return max(estimate, self.min_rows)
 
-    def rows_batch(self, masks):
+    def rows_batch(self, masks, spec=None):
         """Estimates for a whole batch of relation sets, as a float64 array.
 
         The batched entry point of the kernel backends: the batch is
         deduplicated with numpy (DP levels ask for the same target set once
         per candidate pair), each *distinct* set is estimated once, and the
-        results are gathered back.  The per-set estimate deliberately stays
-        on the scalar log-space accumulation of :meth:`rows` — IEEE-754
-        summation order is part of the bit-identity contract between the
-        scalar and vectorized backends, and it shares the same memo, so a
-        set estimated by either backend is a cache hit for the other.
+        results are gathered back.  Without a ``spec`` the per-set estimate
+        stays on the scalar log-space accumulation of :meth:`rows` —
+        IEEE-754 summation order is part of the bit-identity contract
+        between the scalar and vectorized backends, and it shares the same
+        memo, so a set estimated by either backend is a cache hit for the
+        other.
+
+        ``masks`` is either a sequence of Python-int bitmaps or an
+        already-packed ``(m, words)`` uint64 column
+        (:mod:`repro.core.widebitmap`); wide sets dedup on the packed
+        column's sort keys, so no mask ever has to squeeze into one int64
+        lane.  A packed column may carry the run's bit-remap ``spec``
+        (:func:`~repro.core.widebitmap.view_for`): scope-restricted batches
+        then fold the log terms lane-wise in the compact layout
+        (:meth:`_rows_fold`) instead of walking the memo per set, which is
+        what keeps subset-scoped fragment runs on wide graphs free of
+        per-mask bigint work.  The fold performs the exact addition
+        sequence of :meth:`rows` per mask and finishes through
+        :meth:`from_log10`, so the memo and both entry points stay
+        bit-identical.
         """
         import numpy as np
 
-        masks = np.asarray(masks, dtype=np.int64)
-        unique, inverse = np.unique(masks, return_inverse=True)
-        estimates = np.array([self.rows(int(mask)) for mask in unique],
-                             dtype=np.float64)
+        from ..core import widebitmap as wb
+
+        if isinstance(masks, np.ndarray) and masks.ndim == 2:
+            packed = masks
+        else:
+            mask_list = [int(mask) for mask in masks]
+            packed = wb.pack(mask_list, wb.words_for(max(mask_list,
+                                                         default=0).bit_length()))
+            spec = None
+        keys = wb.sort_keys(packed)
+        _, first_index, inverse = np.unique(keys, return_index=True,
+                                            return_inverse=True)
+        if (spec is not None and not isinstance(spec, int)
+                and len(first_index)):
+            estimates = self._rows_fold(packed[first_index], spec)
+        else:
+            estimates = np.array(
+                [self.rows(mask) for mask in wb.unpack(packed[first_index])],
+                dtype=np.float64)
         return estimates[inverse]
+
+    def _fold_steps_for_spec(self, spec):
+        """The scope's log-fold schedule: ``(log10 terms, selector column)``.
+
+        One step per scope member (ascending bit position, selector = the
+        member's packed bit) followed by one per edge inside the scope
+        (graph edge order, selector = the edge's packed endpoint pair) —
+        exactly the terms :meth:`rows`'s scalar loop adds for any mask of
+        the scope, in the same order (the two-relation fast path adds
+        vertices-ascending-then-the-edge, which is the same sequence).
+        Selectors live in the spec's compact layout.  Cached per spec.
+        """
+        cached = self._fold_steps.get(spec)
+        if cached is not None:
+            return cached
+        import numpy as np
+
+        from ..core import widebitmap as wb
+
+        values = []
+        selectors = []
+        for index, position in enumerate(spec):
+            values.append(math.log10(self.base_cardinalities[position]))
+            selectors.append(1 << index)
+        scope_mask = 0
+        for position in spec:
+            scope_mask |= 1 << position
+        for edge in self.graph.edges_within(scope_mask):
+            values.append(math.log10(edge.selectivity))
+            selectors.append(wb.compact(edge.mask, spec))
+        steps = (np.array(values, dtype=np.float64),
+                 wb.pack(selectors, wb.spec_words(spec)))
+        if len(self._fold_steps) >= 256:
+            self._fold_steps.clear()
+        self._fold_steps[spec] = steps
+        return steps
+
+    def _rows_fold(self, rows, spec):
+        """Vectorized :meth:`rows` over deduplicated compact-layout rows.
+
+        Performs, for every row at once, the identical IEEE-754 log10
+        addition sequence the scalar path runs for that mask — steps whose
+        selector is not contained in the batch union can never fire and are
+        dropped without reordering the survivors — then exponentiates
+        through :meth:`from_log10` and feeds the shared memo.
+        """
+        import numpy as np
+
+        from ..core import widebitmap as wb
+
+        values, selectors = self._fold_steps_for_spec(spec)
+        union = np.bitwise_or.reduce(rows, axis=0)
+        keep = ((selectors & ~union[None, :]) == 0).all(axis=1)
+        if not keep.all():
+            values = values[keep]
+            selectors = selectors[keep]
+        n_steps = len(values)
+        value_list = values.tolist()
+        selected = np.ones((len(rows), n_steps), dtype=bool)
+        for word in range(rows.shape[1]):
+            sel_word = selectors[:, word]
+            if not sel_word.any():
+                continue
+            selected &= ((rows[:, word][:, None] & sel_word[None, :])
+                         == sel_word[None, :])
+        acc = np.zeros(len(rows), dtype=np.float64)
+        for step in range(n_steps):
+            acc = np.where(selected[:, step], acc + value_list[step], acc)
+        estimates = [self.from_log10(log_estimate)
+                     for log_estimate in acc.tolist()]
+        cache = self._cache
+        for mask, estimate in zip(wb.unpack(rows, spec), estimates):
+            cache[mask] = estimate
+        return np.array(estimates, dtype=np.float64)
 
     def join_rows(self, left: int, right: int) -> float:
         """Cardinality of joining two disjoint relation sets.
@@ -157,3 +265,4 @@ class CardinalityEstimator:
     def invalidate(self) -> None:
         """Drop the memoised estimates (used after mutating selectivities)."""
         self._cache.clear()
+        self._fold_steps.clear()

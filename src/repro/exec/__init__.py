@@ -12,7 +12,6 @@ from .backend import (
     AUTO_MULTICORE_MIN_RELATIONS,
     AUTO_VECTORIZE_MIN_RELATIONS,
     BACKEND_NAMES,
-    MAX_VECTOR_RELATIONS,
     KernelBackend,
     KernelOptimizerMixin,
     KernelState,
@@ -21,6 +20,7 @@ from .backend import (
     resolve_backend,
     validate_workers,
     vectorized_supported,
+    words_for,
 )
 from .heuristic_kernels import (
     greedy_union_partition,
@@ -33,7 +33,6 @@ __all__ = [
     "AUTO_MULTICORE_MIN_RELATIONS",
     "AUTO_VECTORIZE_MIN_RELATIONS",
     "BACKEND_NAMES",
-    "MAX_VECTOR_RELATIONS",
     "KernelBackend",
     "KernelOptimizerMixin",
     "KernelState",
@@ -46,4 +45,5 @@ __all__ = [
     "resolve_backend",
     "validate_workers",
     "vectorized_supported",
+    "words_for",
 ]

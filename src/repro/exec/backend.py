@@ -23,8 +23,10 @@ A backend instance is stateless and cheap; optimizers resolve one per run
 with :func:`resolve_backend`, which also implements the ``auto`` policy
 (vectorize when the query is large enough to amortize array setup, escalate
 to multicore workers when the query and the machine are large enough to
-amortize IPC) and the graceful fallbacks (no numpy, or vertex bitmaps too
-wide for int64 lanes).
+amortize IPC) and the graceful numpy-less fallback.  Graph width is never a
+capability limit: the kernels pack vertex bitmaps into multi-word uint64
+columns (:func:`~repro.core.widebitmap.words_for` lanes per set — see
+:mod:`repro.core.widebitmap`), so 1000-relation graphs run natively.
 
 One batch method exists per level *shape*, because the four rewired
 optimizers emit structurally different batches:
@@ -61,6 +63,7 @@ from ..core.counters import OptimizerStats
 from ..core.enumeration import EnumerationContext
 from ..core.memo import MemoTable
 from ..core.query import QueryInfo
+from ..core.widebitmap import words_for
 
 __all__ = [
     "KernelState",
@@ -74,7 +77,7 @@ __all__ = [
     "BACKEND_NAMES",
     "AUTO_VECTORIZE_MIN_RELATIONS",
     "AUTO_MULTICORE_MIN_RELATIONS",
-    "MAX_VECTOR_RELATIONS",
+    "words_for",
 ]
 
 #: The backend names optimizers and the planner accept.
@@ -92,15 +95,6 @@ AUTO_VECTORIZE_MIN_RELATIONS = 12
 #: :mod:`repro.exec.multicore`), so small levels of a large query still run
 #: in-process.
 AUTO_MULTICORE_MIN_RELATIONS = 14
-
-#: The vectorized kernels pack vertex bitmaps into int64 lanes; wider graphs
-#: fall back to the scalar backend.  The 100+-relation heuristic drivers
-#: stay inside this width by *extracting* each fragment into a compact
-#: sub-query (:meth:`repro.core.query.QueryInfo.extract`) before invoking
-#: their inner exact optimizer.
-MAX_VECTOR_RELATIONS = 62
-_MAX_VECTOR_RELATIONS = MAX_VECTOR_RELATIONS
-
 
 def _available_cpus() -> int:
     """Usable CPU count (affinity-aware where the platform reports it)."""
@@ -334,10 +328,11 @@ def vectorized_supported(query: QueryInfo) -> bool:
     """True when the vectorized backend can run this query's masks.
 
     Requires numpy (an install requirement, but stubbed environments may
-    lack it) and vertex bitmaps that fit int64 array lanes.
+    lack it) — nothing else.  Graph width is an array parameter, not a
+    capability: bitmap columns carry
+    :func:`~repro.core.widebitmap.words_for` uint64 lanes per set, so any
+    width the scalar path can optimize, the kernels can too.
     """
-    if query.graph.n_relations > _MAX_VECTOR_RELATIONS:
-        return False
     try:
         import numpy  # noqa: F401
     except ImportError:  # pragma: no cover - numpy is an install requirement
@@ -351,10 +346,11 @@ def resolve_backend(requested: str, query: QueryInfo,
     """The backend that will actually execute one optimizer run.
 
     ``"scalar"``, ``"vectorized"`` and ``"multicore"`` request those
-    backends directly — except that a vectorized or multicore request on an
-    unsupported query (no numpy, or a graph wider than int64 lanes) quietly
-    degrades to scalar, because the backend is a performance knob and all
-    backends produce bit-identical results.  ``"auto"`` picks vectorized for
+    backends directly — except that a vectorized or multicore request in a
+    numpy-less environment quietly degrades to scalar, because the backend
+    is a performance knob and all backends produce bit-identical results
+    (graph width never degrades: the kernels carry multi-word bitmap
+    columns at any width).  ``"auto"`` picks vectorized for
     queries of at least :data:`AUTO_VECTORIZE_MIN_RELATIONS` relations
     (counted over the optimized ``subset``), and escalates to multicore from
     :data:`AUTO_MULTICORE_MIN_RELATIONS` relations when more than one CPU is
@@ -373,8 +369,8 @@ def resolve_backend(requested: str, query: QueryInfo,
         return ScalarBackend()
     supported = vectorized_supported(query)
     if not supported:
-        # >62-relation graphs (or numpy-less environments) degrade to the
-        # scalar loops for every non-scalar request, multicore included.
+        # numpy-less environments degrade to the scalar loops for every
+        # non-scalar request, multicore included.
         return ScalarBackend()
     if requested == "vectorized":
         from .vectorized import VectorizedBackend

@@ -8,8 +8,8 @@ that scale, and this module gives each of them the same treatment:
 * :func:`lindp_merge` — LinearizedDP's quadratic interval-merge loop as one
   batched kernel per DP length: candidate splits of every same-length
   interval are validated with a 2-D prefix-sum rectangle test over the
-  linear order's adjacency matrix (position space, so it works far beyond
-  the int64 lane width that caps the exact kernels at 62 relations), costed
+  linear order's adjacency matrix (position space — width-free, like the
+  exact kernels' multi-word bitmap columns), costed
   with a single :meth:`~repro.cost.base.CostModel.cost_batch` call, and
   reduced per interval with the scalar loop's first-cheapest-wins rule.
   Plans are materialised only for the winning split tree (O(n) joins instead
@@ -55,9 +55,9 @@ __all__ = [
 def heuristic_kernels_supported() -> bool:
     """True when numpy is importable (the only requirement).
 
-    Unlike the exact-DP kernels the heuristic kernels work in *position*
-    space (indices into a linear order or an edge list), so they have no
-    62-relation lane-width ceiling.
+    The heuristic kernels work in *position* space (indices into a linear
+    order or an edge list); the exact-DP kernels carry multi-word bitmap
+    columns — neither has a relation-count ceiling.
     """
     try:
         import numpy  # noqa: F401

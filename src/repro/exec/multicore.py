@@ -16,7 +16,14 @@ Data flow per level:
    :class:`~repro.exec.vectorized.SnapshotBuilder` (arena key/cost/row
    columns plus the precomputed per-subset neighbour bitmaps) and publishes
    the snapshot, the level's target masks and their batched cardinalities
-   into **one** ``multiprocessing.shared_memory`` segment;
+   into **one** ``multiprocessing.shared_memory`` segment.  Every bitmap
+   column is a packed multi-word matrix (:mod:`repro.core.widebitmap`):
+   ``(m, words)`` uint64, word 0 least-significant, where ``words`` is the
+   run's packed-space width (fragment runs on wide graphs remap the scope's
+   bits densely, so workers see the compact layout and never need the full
+   graph width) — the shm layout is shape-generic, so the word axis rides
+   through ``_publish_arrays`` unchanged and graphs of any width shard
+   natively;
 2. each worker receives a small task descriptor (segment name, array
    offsets, its ``[start, stop)`` shard of the target column, the pickled
    cost model) over its pipe, attaches the segment, rebuilds a zero-copy
@@ -66,6 +73,7 @@ from multiprocessing import shared_memory
 
 import numpy as np
 
+from ..core import widebitmap as wb
 from ..core.arena import PlanArena
 from ..core.query import QueryInfo
 from .backend import (
@@ -79,10 +87,10 @@ from .vectorized import (
     Snapshot,
     TreeInfo,
     VectorizedBackend,
+    builder_for,
     run_block_shard,
     run_subset_shard,
     run_tree_shard,
-    snapshot_for,
     tree_info_for,
 )
 
@@ -418,18 +426,16 @@ class MulticoreBackend(KernelBackend):
                 and n_targets * per_target_work >= MULTICORE_MIN_WORK)
 
     def _adjacency(self, state: KernelState) -> Tuple[int, ...]:
-        adjacency = state.cache.get("adjacency_tuple")
-        if adjacency is None:
-            adjacency = tuple(state.query.graph._adjacency)
-            state.cache["adjacency_tuple"] = adjacency
-        return adjacency
+        """The run's packed-space adjacency (what the shard DFS walks)."""
+        return builder_for(state).kernel_adjacency
 
     def _run_sharded(self, kind: str, state: KernelState,
                      target_arr: np.ndarray, out_rows: np.ndarray,
                      extra: dict) -> List[tuple]:
         """Publish the level, fan shards out, return per-shard results."""
         arena = VectorizedBackend._arena(state)
-        snapshot = snapshot_for(state, arena)
+        builder = builder_for(state)
+        snapshot = builder.refresh(arena)
         n_shards = min(self.workers, len(target_arr))
         pool = _pool_for(self.workers)
         segment, meta = _publish_arrays({
@@ -450,7 +456,7 @@ class MulticoreBackend(KernelBackend):
                     "start": start,
                     "stop": stop,
                     "model": state.query.cost_model,
-                    "n_bits": state.query.graph.n_relations,
+                    "n_bits": builder.n_bits,
                 }
                 task.update(extra)
                 tasks.append(task)
@@ -463,27 +469,36 @@ class MulticoreBackend(KernelBackend):
                 pass
 
     @staticmethod
-    def _gather(state: KernelState, level: int, target_arr: np.ndarray,
-                out_rows: np.ndarray, results: List[tuple]) -> None:
+    def _gather(state: KernelState, level: int, targets: List[int],
+                target_col: np.ndarray, out_rows: np.ndarray,
+                results: List[tuple]) -> None:
         """Concatenate shard winners (shard order = target order), record.
 
         Shards partition the targets, so per-shard pair/CCP counts sum
         exactly to the level totals the single-process backends record.
+        Winner columns come back packed; they unpack to Python ints here,
+        at the arena boundary.
         """
         arena = VectorizedBackend._arena(state)
+        spec = builder_for(state).spec
         best = np.concatenate([r[0] for r in results])
         winner_left = np.concatenate([r[1] for r in results])
         winner_right = np.concatenate([r[2] for r in results])
         total_ccp = sum(int(r[3]) for r in results)
         total_pairs = sum(int(r[4]) for r in results)
         state.stats.record_pairs(level, total_pairs, total_ccp)
-        arena.record_level(target_arr, best, out_rows, winner_left, winner_right)
+        arena.record_level(targets, best, out_rows,
+                           wb.unpack(winner_left, spec),
+                           wb.unpack(winner_right, spec), size=level)
+        builder_for(state).absorb(target_col)
 
     def _level_inputs(self, state: KernelState, targets: Sequence[int]):
-        target_arr = np.fromiter(targets, dtype=np.int64, count=len(targets))
-        out_rows = np.asarray(state.query.rows_batch(target_arr),
+        targets = list(targets)
+        spec = builder_for(state).spec
+        target_col = wb.pack(targets, spec)
+        out_rows = np.asarray(state.query.rows_batch(target_col, spec=spec),
                               dtype=np.float64)
-        return target_arr, out_rows
+        return targets, target_col, out_rows
 
     # ------------------------------------------------------------------ #
     def run_subset_level(self, state: KernelState, level: int,
@@ -495,10 +510,11 @@ class MulticoreBackend(KernelBackend):
                                                              per_target):
             self._vectorized.run_subset_level(state, level, targets)
             return
-        target_arr, out_rows = self._level_inputs(state, targets)
-        results = self._run_sharded("subset", state, target_arr, out_rows,
+        targets, target_col, out_rows = self._level_inputs(state, targets)
+        results = self._run_sharded("subset", state, target_col, out_rows,
                                     {"level": level})
-        self._gather(state, level, target_arr, out_rows, results)
+        self._gather(state, level, targets, target_col, out_rows,
+                     results)
 
     def run_block_level(self, state: KernelState, level: int,
                         targets: Sequence[int]) -> None:
@@ -513,10 +529,11 @@ class MulticoreBackend(KernelBackend):
         if not self._should_shard(len(targets), per_target):
             self._vectorized.run_block_level(state, level, targets)
             return
-        target_arr, out_rows = self._level_inputs(state, targets)
-        results = self._run_sharded("block", state, target_arr, out_rows,
+        targets, target_col, out_rows = self._level_inputs(state, targets)
+        results = self._run_sharded("block", state, target_col, out_rows,
                                     {"adjacency": self._adjacency(state)})
-        self._gather(state, level, target_arr, out_rows, results)
+        self._gather(state, level, targets, target_col, out_rows,
+                     results)
 
     def run_tree_level(self, state: KernelState, level: int,
                        targets: Sequence[int]) -> None:
@@ -527,13 +544,14 @@ class MulticoreBackend(KernelBackend):
         if not self._should_shard(len(targets), per_target):
             self._vectorized.run_tree_level(state, level, targets)
             return
-        target_arr, out_rows = self._level_inputs(state, targets)
-        results = self._run_sharded("tree", state, target_arr, out_rows, {
+        targets, target_col, out_rows = self._level_inputs(state, targets)
+        results = self._run_sharded("tree", state, target_col, out_rows, {
             "tree_edge_masks": info.edge_masks,
             "tree_child_desc": info.child_desc,
             "tree_left_is_child": info.left_is_child,
         })
-        self._gather(state, level, target_arr, out_rows, results)
+        self._gather(state, level, targets, target_col, out_rows,
+                     results)
 
     def run_size_level(self, state: KernelState, level: int) -> None:
         # DPsize pairs arbitrary memoised plans, so the valid-pair set (and

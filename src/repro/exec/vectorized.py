@@ -4,10 +4,11 @@ This backend realizes the paper's kernel pipeline (Section 5) on the CPU:
 instead of walking candidate splits one Python iteration at a time, each DP
 level is executed as four array stages over the whole level batch —
 
-1. **unrank** — materialise every candidate split of the level as int64
-   bitmap arrays.  Submask splits use the combinatorial dense→sparse deposit
-   (a 0/1 dense-bits matrix times a per-target bit-weight matrix, i.e. a
-   batched PDEP); tree splits use precomputed subtree descendant masks.
+1. **unrank** — materialise every candidate split of the level as packed
+   bitmap columns.  Submask splits use the combinatorial dense→sparse
+   deposit (a 0/1 dense-bits matrix times a per-target one-hot word matrix,
+   i.e. a batched PDEP); tree splits use precomputed subtree descendant
+   masks.
 2. **filter** — CCP validity as boolean masks.  Connectivity of an operand
    is a *membership* test: the arena holds exactly the connected subsets of
    every smaller size, so one ``searchsorted`` against its sorted key column
@@ -24,6 +25,17 @@ level is executed as four array stages over the whole level batch —
    emission order.  Ties are common (operand-swapped pairs cost the same
    under every shipped model), so the sequence tie-break is what keeps
    plans bit-identical to :class:`~repro.exec.backend.ScalarBackend`.
+
+**Width.**  Every bitmap column is a multi-word bitset matrix
+(:mod:`repro.core.widebitmap`): a batch of ``m`` vertex sets over an
+``n``-relation graph is an ``(m, words_for(n))`` uint64 matrix, word 0
+least-significant.  All mask algebra runs lane-wise over the trailing word
+axis (``&``/``|``/``^`` broadcast it for free; emptiness and subset tests
+are ``any``/``all`` reductions), and membership probes run on derived sort
+keys whose comparison order equals the masks' numeric order at any width.
+Single-word graphs (n ≤ 64) keep zero-copy uint64 keys, so the historical
+fast path is unchanged; wider graphs simply carry more lanes — there is no
+62-relation ceiling and no scalar degradation.
 
 The unrank/filter/evaluate/scatter-min stages for one *contiguous shard of
 targets* are exposed as module-level functions (:func:`run_subset_shard`,
@@ -63,6 +75,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..core import bitmapset as bms
+from ..core import widebitmap as wb
 from ..core.arena import PlanArena
 from ..core.query import QueryInfo
 from .backend import KernelBackend, KernelState, ScalarBackend
@@ -72,6 +85,7 @@ __all__ = [
     "Snapshot",
     "SnapshotBuilder",
     "TreeInfo",
+    "builder_for",
     "snapshot_for",
     "tree_info_for",
     "build_tree_info",
@@ -101,25 +115,32 @@ def _dense_matrix(k: int) -> np.ndarray:
     Row order is ascending ``d``, which is exactly the canonical submask
     enumeration order of :func:`~repro.core.bitmapset.iter_proper_nonempty_subsets`,
     so a row index doubles as the split's within-target sequence number.
+    uint64 cells so the deposit matmul against one-hot word columns stays in
+    uint64 (numpy upcasts mixed int64/uint64 arithmetic to float64).
     """
     cached = _DENSE_CACHE.get(k)
     if cached is None:
-        dense = np.arange(1, (1 << k) - 1, dtype=np.int64)
-        cached = ((dense[:, None] >> np.arange(k, dtype=np.int64)[None, :]) & 1)
+        dense = np.arange(1, (1 << k) - 1, dtype=np.uint64)
+        shifts = np.arange(k, dtype=np.uint64)
+        cached = (dense[:, None] >> shifts[None, :]) & np.uint64(1)
         _DENSE_CACHE[k] = cached
     return cached
 
 
-def _bit_positions(masks: np.ndarray, k: int, n_bits: int) -> np.ndarray:
-    """(m, k) matrix of each mask's set-bit positions, ascending per row.
+def _deposit(dense: np.ndarray, weights: np.ndarray) -> np.ndarray:
+    """Batched PDEP: scatter dense split values through per-target weights.
 
-    Every mask must have exactly ``k`` set bits (one DP level's targets, or
-    one size group's blocks).
+    ``dense`` is the (S, k) 0/1 matrix, ``weights`` the (c, k, words)
+    one-hot singleton masks of each target's member vertices — one matmul
+    per word gives every split of every target as an (S, c, words) packed
+    column (the weight rows are disjoint bitmaps, so the matmul's additions
+    are carry-free ORs).
     """
-    membership = (
-        (masks[:, None] >> np.arange(n_bits, dtype=np.int64)[None, :]) & 1
-    ).astype(bool)
-    return np.nonzero(membership)[1].reshape(len(masks), k)
+    words = weights.shape[2]
+    out = np.empty((dense.shape[0], weights.shape[0], words), dtype=np.uint64)
+    for word in range(words):
+        out[:, :, word] = dense @ weights[:, :, word].T
+    return out
 
 
 def _grow(adjacency: Sequence[int], source: int, restricted: int) -> int:
@@ -147,7 +168,8 @@ def _blocks_and_hangs(adjacency: Sequence[int], target: int):
     """Blocks of ``target`` plus the hang-off mask of every block vertex.
 
     ``adjacency`` is the graph's per-vertex neighbour-bitmap column (a plain
-    sequence, so worker processes can pass it without holding a
+    sequence of Python ints — arbitrary precision, so this works at any
+    graph width — letting worker processes pass it without holding a
     :class:`~repro.core.joingraph.JoinGraph`).
 
     One fused Hopcroft–Tarjan DFS replaces the scalar path's
@@ -292,65 +314,155 @@ def _blocks_and_hangs(adjacency: Sequence[int], target: int):
 class Snapshot:
     """Sorted array view of the arena: the filter/evaluate stages' input.
 
-    ``masks`` is the sorted key column; ``costs``/``rows`` are aligned with
-    it, and ``neighbours`` holds each subset's adjacent-vertex bitmap — the
+    ``masks`` is the packed ``(m, words)`` uint64 key column sorted by
+    numeric mask order; ``costs``/``rows`` are aligned with it, and
+    ``neighbours`` holds each subset's packed adjacent-vertex bitmap — the
     precomputed connectivity arrays the CCP mask-filter stage runs against.
-    The four columns are plain contiguous arrays, so the multicore backend
-    can publish them as one ``shared_memory`` segment and workers rebuild an
-    identical snapshot from zero-copy views.
+    ``spec`` is the column layout (:func:`repro.core.widebitmap.view_for`:
+    identity word count, or a scoped run's bit remap); the kernels operate
+    purely in packed space, so only boundary translations consult it.
+    ``keys`` are the masks' derived comparison keys
+    (:func:`repro.core.widebitmap.sort_keys`), recomputed from the mask
+    column when not supplied — which is how multicore workers rebuild an
+    identical snapshot from zero-copy shared-memory views of the other four
+    columns.
     """
 
-    __slots__ = ("masks", "costs", "rows", "neighbours")
+    __slots__ = ("masks", "costs", "rows", "neighbours", "keys", "words",
+                 "spec")
 
     def __init__(self, masks: np.ndarray, costs: np.ndarray,
-                 rows: np.ndarray, neighbours: np.ndarray) -> None:
+                 rows: np.ndarray, neighbours: np.ndarray,
+                 keys: Optional[np.ndarray] = None, spec=None) -> None:
         self.masks = masks
+        self.words = masks.shape[1]
+        self.spec = masks.shape[1] if spec is None else spec
         self.costs = costs
         self.rows = rows
         self.neighbours = neighbours
+        self.keys = wb.sort_keys(masks) if keys is None else keys
 
     def lookup(self, queries: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
-        """Per-query ``(clipped index, found)`` membership via searchsorted."""
-        index = np.searchsorted(self.masks, queries)
-        index = np.minimum(index, len(self.masks) - 1)
-        return index, self.masks[index] == queries
+        """Per-query ``(clipped index, found)`` membership via searchsorted.
+
+        ``queries`` is any ``(..., words)`` packed column; the results drop
+        the word axis.
+        """
+        shape = queries.shape[:-1]
+        keys = wb.sort_keys(queries.reshape(-1, self.words))
+        index = np.searchsorted(self.keys, keys)
+        index = np.minimum(index, len(self.keys) - 1)
+        found = self.keys[index] == keys
+        return index.reshape(shape), found.reshape(shape)
 
     def lookup_one(self, mask: int) -> Tuple[int, bool]:
-        """Scalar membership probe (the wide-block fallback's path)."""
-        index = int(np.searchsorted(self.masks, mask))
-        if index >= len(self.masks):
-            return len(self.masks) - 1, False
-        return index, int(self.masks[index]) == mask
+        """Packed-space scalar probe (the wide-block fallback's path)."""
+        key = wb.sort_keys(wb.pack([mask], self.words))
+        index = int(np.searchsorted(self.keys, key[0]))
+        if index >= len(self.keys):
+            return len(self.keys) - 1, False
+        return index, wb.unpack_one(self.masks[index]) == mask
 
 
 class SnapshotBuilder:
     """Incremental snapshot state, hoisted into ``KernelState.cache``.
 
     The neighbour column is a function of each entry's mask alone, and the
-    arena is append-only during a level sweep, so neighbours are computed
-    exactly once per entry — for the suffix the last level appended — instead
-    of being re-derived for the whole table at every level (the old
-    per-level ``_ArenaSnapshot`` loop).  The per-vertex adjacency column is
-    likewise materialised once per run.
+    arena is append-only during a level sweep, so neighbours (and sort keys)
+    are computed exactly once per entry — for the suffix the last level
+    appended — instead of being re-derived for the whole table at every
+    level (the old per-level ``_ArenaSnapshot`` loop).  The per-vertex
+    adjacency column is likewise materialised once per run.
+
+    When the run is *scoped* (a heuristic optimizing one fragment of a wide
+    graph), the builder's spec (:func:`repro.core.widebitmap.view_for`)
+    remaps the scope's bits to a dense packed space: every mask the run
+    touches is a subset of the scope, so a 16-relation fragment of a
+    1000-relation graph runs its kernels on one uint64 lane with 16-bit
+    dense matrices — the width the legacy sub-query extraction achieved,
+    without building a sub-query.  Inside the kernels *everything* lives in
+    packed space (including :attr:`kernel_adjacency`, the compact adjacency
+    the block DFS walks); full-width Python ints appear only at the
+    pack/unpack boundary of each level.
     """
 
-    def __init__(self, graph) -> None:
+    def __init__(self, graph, scope: Optional[int] = None) -> None:
         n = graph.n_relations
-        #: Per-vertex neighbour bitmaps as an int64 column (hoisted once).
-        self.adjacency_column = np.fromiter(
-            graph._adjacency, dtype=np.int64, count=n)
-        self._n_bits = n
-        self._masks = np.empty(0, dtype=np.int64)
-        self._neighbours = np.empty(0, dtype=np.int64)
+        if scope is None:
+            scope = (1 << n) - 1 if n > 0 else 0
+        #: Layout of every packed column this run produces (identity word
+        #: count, or the scope's bit remap).
+        self.spec = wb.view_for(scope, n)
+        self.words = wb.spec_words(self.spec)
+        #: Packed-space universe width the dense unrank kernels enumerate
+        #: over (full ``n`` for the identity layout, the scope's popcount
+        #: for a remap).
+        self.n_bits = n if isinstance(self.spec, int) else len(self.spec)
+        #: Packed-space adjacency masks, indexed by packed vertex position —
+        #: what the shard kernels' Python-int side (block DFS, grow) walks.
+        #: Remapped rows drop out-of-scope neighbour bits; identity rows
+        #: keep them (harmless — every AND partner is inside the scope).
+        if isinstance(self.spec, int):
+            self.kernel_adjacency = tuple(graph._adjacency)
+        else:
+            self.kernel_adjacency = tuple(
+                wb.compact(graph._adjacency[vertex], self.spec)
+                for vertex in self.spec)
+        #: The same masks as a packed uint64 column.
+        self.adjacency_column = wb.pack(list(self.kernel_adjacency),
+                                        self.words)
+        self._masks = np.empty((0, self.words), dtype=np.uint64)
+        self._keys = wb.sort_keys(self._masks)
+        self._neighbours = np.empty((0, self.words), dtype=np.uint64)
+        self._pending: List[np.ndarray] = []
+
+    def absorb(self, column: np.ndarray) -> None:
+        """Packed rows of keys just appended to the arena, in append order.
+
+        The level runners already hold every winner they record as a packed
+        column, so handing it over lets :meth:`refresh` extend the mask
+        table without re-packing those keys from Python ints — on remapped
+        wide runs that re-pack is a per-source-word big-int pass over every
+        arena key of the level.  Columns are validated against the arena
+        suffix at the next refresh and discarded on any mismatch, so
+        interleaved scalar-fallback ``put`` appends degrade to the int
+        re-pack instead of corrupting the snapshot.
+        """
+        if len(column):
+            self._pending.append(column)
+
+    def _pending_masks(self, keys, built: int,
+                       total: int) -> Optional[np.ndarray]:
+        """The absorbed columns iff they exactly cover ``keys[built:total]``."""
+        pending = self._pending
+        if not pending:
+            return None
+        if sum(len(column) for column in pending) != total - built:
+            return None
+        column = pending[0] if len(pending) == 1 else np.concatenate(pending)
+        # Endpoint guard: any interleaved append (or a runner handing over
+        # the wrong column) breaks one of these and voids the hand-off.
+        if (wb.unpack_one(column[0]) != keys[built]
+                or wb.unpack_one(column[-1]) != keys[total - 1]):
+            return None
+        return column
 
     def neighbours_of(self, masks: np.ndarray) -> np.ndarray:
-        """Neighbour bitmaps of ``masks`` (vectorized union of adjacencies)."""
-        neighbours = np.zeros(len(masks), dtype=np.int64)
-        for vertex in range(self._n_bits):
-            member = ((masks >> np.int64(vertex)) & 1).astype(bool)
-            np.bitwise_or(neighbours,
-                          np.where(member, self.adjacency_column[vertex], 0),
-                          out=neighbours)
+        """Neighbour bitmaps of ``masks`` (vectorized union of adjacencies).
+
+        Runs in packed space end to end.  Iterates only the vertices present
+        somewhere in the batch (the OR over all masks), not the whole
+        universe — on a 1000-relation graph a fragment DP's batches touch a
+        handful of vertices.
+        """
+        neighbours = np.zeros_like(masks)
+        if len(masks) == 0:
+            return neighbours
+        union = wb.unpack_one(np.bitwise_or.reduce(masks, axis=0))
+        for position in bms.iter_bits(union):
+            lane, offset = divmod(position, wb.WORD_BITS)
+            member = (masks[:, lane] >> np.uint64(offset)) & np.uint64(1)
+            neighbours[member.astype(bool)] |= self.adjacency_column[position]
         return neighbours & ~masks
 
     def refresh(self, arena: PlanArena) -> Snapshot:
@@ -358,43 +470,55 @@ class SnapshotBuilder:
 
         Cost/row cells of entries appended at the *current* level may still
         be improved by scalar-fallback ``put`` calls, so those two columns
-        are re-copied per refresh; masks and neighbours are immutable per
-        entry and extend incrementally.
+        are re-copied per refresh; masks, keys and neighbours are immutable
+        per entry and extend incrementally.
         """
         keys, costs, rows = arena.columns()
         total = len(keys)
         built = len(self._masks)
         if total > built:
-            new_masks = np.fromiter(keys[built:], dtype=np.int64,
-                                    count=total - built)
+            new_masks = self._pending_masks(keys, built, total)
+            if new_masks is None:
+                new_masks = wb.pack(keys[built:], self.spec)
             self._masks = np.concatenate([self._masks, new_masks])
+            self._keys = np.concatenate(
+                [self._keys, wb.sort_keys(new_masks)])
             self._neighbours = np.concatenate(
                 [self._neighbours, self.neighbours_of(new_masks)])
-        order = np.argsort(self._masks)
+        self._pending = []
+        order = np.argsort(self._keys)
         costs_arr = np.fromiter(costs, dtype=np.float64, count=total)
         rows_arr = np.fromiter(rows, dtype=np.float64, count=total)
         return Snapshot(self._masks[order], costs_arr[order], rows_arr[order],
-                        self._neighbours[order])
+                        self._neighbours[order], keys=self._keys[order],
+                        spec=self.spec)
+
+
+def builder_for(state: KernelState) -> SnapshotBuilder:
+    """The run's snapshot builder (scoped word layout), cached on the state."""
+    builder = state.cache.get("snapshot_builder")
+    if builder is None:
+        builder = SnapshotBuilder(state.query.graph, state.scope)
+        state.cache["snapshot_builder"] = builder
+    return builder
 
 
 def snapshot_for(state: KernelState, arena: PlanArena) -> Snapshot:
     """The run's current arena snapshot, via the state-cached builder."""
-    builder = state.cache.get("snapshot_builder")
-    if builder is None:
-        builder = SnapshotBuilder(state.query.graph)
-        state.cache["snapshot_builder"] = builder
-    return builder.refresh(arena)
+    return builder_for(state).refresh(arena)
 
 
 def _scatter_winners(n_targets: int, tid: np.ndarray, cost: np.ndarray,
                      seq: np.ndarray, left: np.ndarray, right: np.ndarray):
     """First-cheapest-wins reduction per target id.
 
-    Returns ``(best_cost, winner_left, winner_right)`` arrays of length
-    ``n_targets``.  The winner of a target is the candidate with minimal
-    cost and, among exact float ties, minimal sequence number — the pair the
-    scalar backend's strict ``<`` memo update would have kept.
+    ``left``/``right`` are packed ``(p, words)`` columns; returns
+    ``(best_cost, winner_left, winner_right)`` with winners packed the same
+    way, of length ``n_targets``.  The winner of a target is the candidate
+    with minimal cost and, among exact float ties, minimal sequence number —
+    the pair the scalar backend's strict ``<`` memo update would have kept.
     """
+    words = left.shape[1]
     best = np.full(n_targets, np.inf)
     np.minimum.at(best, tid, cost)
     if not np.all(np.isfinite(best)):
@@ -405,8 +529,8 @@ def _scatter_winners(n_targets: int, tid: np.ndarray, cost: np.ndarray,
     best_seq = np.full(n_targets, _SEQ_MAX, dtype=np.int64)
     np.minimum.at(best_seq, tid[tie], seq[tie])
     winner = tie & (seq == best_seq[tid])
-    winner_left = np.empty(n_targets, dtype=np.int64)
-    winner_right = np.empty(n_targets, dtype=np.int64)
+    winner_left = np.empty((n_targets, words), dtype=np.uint64)
+    winner_right = np.empty((n_targets, words), dtype=np.uint64)
     winner_left[tid[winner]] = left[winner]
     winner_right[tid[winner]] = right[winner]
     return best, winner_left, winner_right
@@ -422,13 +546,14 @@ class _RunningWinners:
     instead of the level's total valid-pair count.
     """
 
-    def __init__(self, n_targets: int) -> None:
+    def __init__(self, n_targets: int, words: int) -> None:
         self.n_targets = n_targets
+        self.words = words
         self.cost = np.full(n_targets, np.inf)
         self.seq = np.full(n_targets, _SEQ_MAX, dtype=np.int64)
         # Never read until a merge marks the target improved.
-        self.left = np.zeros(n_targets, dtype=np.int64)
-        self.right = np.zeros(n_targets, dtype=np.int64)
+        self.left = np.zeros((n_targets, words), dtype=np.uint64)
+        self.right = np.zeros((n_targets, words), dtype=np.uint64)
 
     def merge(self, tid: np.ndarray, cost: np.ndarray, seq: np.ndarray,
               left: np.ndarray, right: np.ndarray) -> None:
@@ -441,16 +566,16 @@ class _RunningWinners:
         batch_seq = np.full(self.n_targets, _SEQ_MAX, dtype=np.int64)
         np.minimum.at(batch_seq, tid[tie], seq[tie])
         winner = tie & (seq == batch_seq[tid])
-        batch_left = np.zeros(self.n_targets, dtype=np.int64)
-        batch_right = np.zeros(self.n_targets, dtype=np.int64)
+        batch_left = np.zeros((self.n_targets, self.words), dtype=np.uint64)
+        batch_right = np.zeros((self.n_targets, self.words), dtype=np.uint64)
         batch_left[tid[winner]] = left[winner]
         batch_right[tid[winner]] = right[winner]
         better = (batch_cost < self.cost) | (
             (batch_cost == self.cost) & (batch_seq < self.seq))
         self.cost = np.where(better, batch_cost, self.cost)
         self.seq = np.where(better, batch_seq, self.seq)
-        self.left = np.where(better, batch_left, self.left)
-        self.right = np.where(better, batch_right, self.right)
+        self.left = np.where(better[:, None], batch_left, self.left)
+        self.right = np.where(better[:, None], batch_right, self.right)
 
     def finalize(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
         if not np.all(np.isfinite(self.cost)):
@@ -471,15 +596,22 @@ class TreeInfo:
     small arrays, shipped to multicore workers through the task pipe.
     """
 
-    edge_masks: np.ndarray     #: (E,) endpoint bitmaps, graph edge order
-    child_desc: np.ndarray     #: (E,) descendant bitmap of the child endpoint
+    edge_masks: np.ndarray     #: (E, words) endpoint bitmaps, graph edge order
+    child_desc: np.ndarray     #: (E, words) descendant bitmap of the child endpoint
     left_is_child: np.ndarray  #: (E,) True when ``edge.left`` is the child
 
 
-def build_tree_info(graph, scope: int) -> TreeInfo:
-    """Root the induced subtree of ``scope`` and derive the edge-split arrays."""
+def build_tree_info(graph, scope: int, spec=None) -> TreeInfo:
+    """Root the induced subtree of ``scope`` and derive the edge-split arrays.
+
+    ``spec`` is the run's packed word layout (defaults to the full identity
+    layout) — the arrays must share it with the snapshot columns they are
+    ANDed against.
+    """
     edges = graph.edges_within(scope)
     adjacency = graph._adjacency
+    if spec is None:
+        spec = wb.words_for(graph.n_relations)
     root = bms.lowest_bit_index(scope)
     parent: Dict[int, int] = {root: root}
     order: List[int] = [root]
@@ -500,19 +632,20 @@ def build_tree_info(graph, scope: int) -> TreeInfo:
             if parent.get(child) == vertex and child != vertex:
                 mask |= descendants[child]
         descendants[vertex] = mask
-    edge_masks = np.empty(len(edges), dtype=np.int64)
-    child_desc = np.empty(len(edges), dtype=np.int64)
+    edge_mask_values: List[int] = []
+    child_desc_values: List[int] = []
     left_is_child = np.empty(len(edges), dtype=bool)
     for index, edge in enumerate(edges):
-        edge_masks[index] = edge.mask
+        edge_mask_values.append(edge.mask)
         if parent.get(edge.left) == edge.right:
             child = edge.left
             left_is_child[index] = True
         else:
             child = edge.right
             left_is_child[index] = False
-        child_desc[index] = descendants[child]
-    return TreeInfo(edge_masks=edge_masks, child_desc=child_desc,
+        child_desc_values.append(descendants[child])
+    return TreeInfo(edge_masks=wb.pack(edge_mask_values, spec),
+                    child_desc=wb.pack(child_desc_values, spec),
                     left_is_child=left_is_child)
 
 
@@ -521,7 +654,8 @@ def tree_info_for(state: KernelState) -> TreeInfo:
     cache: Dict[int, TreeInfo] = state.cache.setdefault("tree_info", {})
     info = cache.get(state.scope)
     if info is None:
-        info = build_tree_info(state.query.graph, state.scope)
+        info = build_tree_info(state.query.graph, state.scope,
+                               builder_for(state).spec)
         cache[state.scope] = info
     return info
 
@@ -534,27 +668,30 @@ def run_subset_shard(snapshot: Snapshot, model, level: int, n_bits: int,
                      targets: np.ndarray, out_rows: np.ndarray):
     """DPsub unrank/filter/evaluate/scatter for one shard of targets.
 
-    Returns ``(best_cost, winner_left, winner_right, ccp_count)`` aligned
-    with ``targets``.
+    ``targets`` is the packed ``(m, words)`` target column; returns
+    ``(best_cost, winner_left, winner_right, ccp_count)`` aligned with it
+    (winners packed the same way).
     """
     n_splits = (1 << level) - 2
+    words = targets.shape[1]
     dense = _dense_matrix(level)
     total_ccp = 0
     parts: List[Tuple[np.ndarray, np.ndarray, np.ndarray]] = []
-    chunk = max(1, _CHUNK_ELEMENTS // n_splits)
+    chunk = max(1, _CHUNK_ELEMENTS // (n_splits * words))
     for start in range(0, len(targets), chunk):
         tc = targets[start:start + chunk]
         oc = out_rows[start:start + chunk]
-        weights = np.int64(1) << _bit_positions(tc, level, n_bits)
-        lefts = dense @ weights.T                  # (n_splits, c) unrank
-        rights = tc[None, :] ^ lefts
+        weights = wb.one_hot_words(
+            wb.bit_positions(tc, level, n_bits), words)
+        lefts = _deposit(dense, weights)               # (S, c, W) unrank
+        rights = tc[None, :, :] ^ lefts
         left_idx, left_ok = snapshot.lookup(lefts)     # filter: connected
         right_idx, right_ok = snapshot.lookup(rights)
         valid = left_ok & right_ok
-        valid &= (snapshot.neighbours[left_idx] & rights) != 0
+        valid &= wb.any_bits(snapshot.neighbours[left_idx] & rights)
         vrow, vcol = np.nonzero(valid)
         total_ccp += len(vrow)
-        cost = np.full(lefts.shape, np.inf)
+        cost = np.full(valid.shape, np.inf)
         li = left_idx[vrow, vcol]
         ri = right_idx[vrow, vcol]
         cost[vrow, vcol] = model.cost_batch(           # evaluate
@@ -577,7 +714,7 @@ def run_subset_shard(snapshot: Snapshot, model, level: int, n_bits: int,
 
 
 def _fallback_block_entries(snapshot: Snapshot, model,
-                            adjacency: Sequence[int], targets: np.ndarray,
+                            adjacency: Sequence[int], targets_py: Sequence[int],
                             out_rows: np.ndarray, entries,
                             winners: "_RunningWinners") -> int:
     """Scalar fallback for blocks too wide for the dense split matrix.
@@ -595,7 +732,7 @@ def _fallback_block_entries(snapshot: Snapshot, model,
     lefts: List[int] = []
     rights: List[int] = []
     for tid, block, seq_base, _hang in entries:
-        target = int(targets[tid])
+        target = targets_py[tid]
         for rank, left_block in enumerate(bms.iter_proper_nonempty_subsets(block)):
             right_block = block & ~left_block
             left_bi, found = snapshot.lookup_one(left_block)
@@ -604,7 +741,7 @@ def _fallback_block_entries(snapshot: Snapshot, model,
             _, found = snapshot.lookup_one(right_block)
             if not found:
                 continue
-            if not int(snapshot.neighbours[left_bi]) & right_block:
+            if not wb.unpack_one(snapshot.neighbours[left_bi]) & right_block:
                 continue
             ccp += 1
             rest = target & ~right_block
@@ -628,8 +765,8 @@ def _fallback_block_entries(snapshot: Snapshot, model,
         winners.merge(np.array(tids, dtype=np.int64),
                       np.array(costs, dtype=np.float64),
                       np.array(seqs, dtype=np.int64),
-                      np.array(lefts, dtype=np.int64),
-                      np.array(rights, dtype=np.int64))
+                      wb.pack(lefts, snapshot.words),
+                      wb.pack(rights, snapshot.words))
     return ccp
 
 
@@ -637,12 +774,15 @@ def run_block_shard(snapshot: Snapshot, model, adjacency: Sequence[int],
                     n_bits: int, targets: np.ndarray, out_rows: np.ndarray):
     """MPDP block splits + grow-lift for one shard of targets.
 
-    Returns ``(best_cost, winner_left, winner_right, ccp_count,
-    evaluated_pairs)`` aligned with ``targets``.  Every target's candidates
-    are wholly inside this shard (sequence bases are per-target), so the
-    shard-local lexicographic winner equals the global one.
+    ``targets`` is the packed ``(m, words)`` target column; returns
+    ``(best_cost, winner_left, winner_right, ccp_count, evaluated_pairs)``
+    aligned with it.  Every target's candidates are wholly inside this shard
+    (sequence bases are per-target), so the shard-local lexicographic winner
+    equals the global one.
     """
     n_targets = len(targets)
+    words = targets.shape[1]
+    targets_py = wb.unpack(targets)
 
     # Group the (target, block) work items by block size so every group
     # shares one dense split matrix; per-item sequence bases preserve the
@@ -659,11 +799,11 @@ def run_block_shard(snapshot: Snapshot, model, adjacency: Sequence[int],
     groups: Dict[int, List[Tuple[int, int, int, Optional[List[int]]]]] = {}
     total_pairs = 0
     for tid in range(n_targets):
-        target = int(targets[tid])
+        target = targets_py[tid]
         seq_base = 0
         blocks, hangs = _blocks_and_hangs(adjacency, target)
         for block, hang_weights in zip(blocks, hangs):
-            size = bms.popcount(block)
+            size = block.bit_count()
             groups.setdefault(size, []).append(
                 (tid, block, seq_base, hang_weights))
             seq_base += (1 << size) - 2
@@ -673,38 +813,46 @@ def run_block_shard(snapshot: Snapshot, model, adjacency: Sequence[int],
     # immediately, so transient memory is bounded by the chunk size, not
     # by the level's total valid-pair count (dense topologies validate
     # every split).
-    winners = _RunningWinners(n_targets)
+    winners = _RunningWinners(n_targets, words)
     total_ccp = 0
 
     for size in sorted(groups):
         entries = groups[size]
         if size > _MAX_DENSE_BITS:
             total_ccp += _fallback_block_entries(
-                snapshot, model, adjacency, targets, out_rows, entries, winners)
+                snapshot, model, adjacency, targets_py, out_rows, entries,
+                winners)
             continue
         n_splits = (1 << size) - 2
         dense = _dense_matrix(size)
         tid_all = np.fromiter((e[0] for e in entries), np.int64, len(entries))
-        blk_all = np.fromiter((e[1] for e in entries), np.int64, len(entries))
+        blk_all = wb.pack([e[1] for e in entries], words)
         seq_all = np.fromiter((e[2] for e in entries), np.int64, len(entries))
-        hang_all = np.zeros((len(entries), size), dtype=np.int64)
-        any_hang = False
-        for row, entry in enumerate(entries):
-            if entry[3] is not None:
-                hang_all[row] = entry[3]
-                any_hang = True
-        chunk = max(1, _CHUNK_ELEMENTS // n_splits)
+        hang_all = np.zeros((len(entries), size, words), dtype=np.uint64)
+        # One batched pack for every hang list of the group (each has
+        # exactly ``size`` weights) — a per-entry pack here dominated wide
+        # MPDP levels with millions of (target, block) items.
+        hang_rows = [row for row, entry in enumerate(entries)
+                     if entry[3] is not None]
+        any_hang = bool(hang_rows)
+        if any_hang:
+            flat_weights = [weight for entry in entries
+                            if entry[3] is not None for weight in entry[3]]
+            hang_all[hang_rows] = wb.pack(flat_weights, words).reshape(
+                len(hang_rows), size, words)
+        chunk = max(1, _CHUNK_ELEMENTS // (n_splits * words))
         for start in range(0, len(entries), chunk):
             tidc = tid_all[start:start + chunk]
             blkc = blk_all[start:start + chunk]
             seqc = seq_all[start:start + chunk]
-            weights = np.int64(1) << _bit_positions(blkc, size, n_bits)
-            left_blocks = dense @ weights.T
-            right_blocks = blkc[None, :] ^ left_blocks
+            weights = wb.one_hot_words(
+                wb.bit_positions(blkc, size, n_bits), words)
+            left_blocks = _deposit(dense, weights)
+            right_blocks = blkc[None, :, :] ^ left_blocks
             lb_idx, lb_ok = snapshot.lookup(left_blocks)
             rb_idx, rb_ok = snapshot.lookup(right_blocks)
             valid = lb_ok & rb_ok
-            valid &= (snapshot.neighbours[lb_idx] & right_blocks) != 0
+            valid &= wb.any_bits(snapshot.neighbours[lb_idx] & right_blocks)
             vrow, vcol = np.nonzero(valid)
             if len(vrow) == 0:
                 continue
@@ -716,7 +864,8 @@ def run_block_shard(snapshot: Snapshot, model, adjacency: Sequence[int],
             # multiply: a split's lifted left side is its block vertices
             # plus their (disjoint) hang-off components.
             if any_hang:
-                lifted = lb + (dense @ hang_all[start:start + chunk].T)[vrow, vcol]
+                lifted = lb + _deposit(
+                    dense, hang_all[start:start + chunk])[vrow, vcol]
             else:
                 lifted = lb
             left = lifted
@@ -742,24 +891,27 @@ def run_tree_shard(snapshot: Snapshot, model, info: TreeInfo,
                    targets: np.ndarray, out_rows: np.ndarray):
     """MPDP:Tree per-edge splits for one shard of targets.
 
-    Returns ``(best_cost, winner_left, winner_right, evaluated_pairs)``;
-    every evaluated pair is a valid CCP pair by construction (Lemmas 1-2).
+    ``targets`` is the packed ``(m, words)`` target column; returns
+    ``(best_cost, winner_left, winner_right, evaluated_pairs)``; every
+    evaluated pair is a valid CCP pair by construction (Lemmas 1-2).
     """
     n_edges = max(1, len(info.edge_masks))
+    words = targets.shape[1]
     total_pairs = 0
     parts: List[Tuple[np.ndarray, np.ndarray, np.ndarray]] = []
-    chunk = max(1, _CHUNK_ELEMENTS // (2 * n_edges))
+    chunk = max(1, _CHUNK_ELEMENTS // (2 * n_edges * words))
     for start in range(0, len(targets), chunk):
         tc = targets[start:start + chunk]
         oc = out_rows[start:start + chunk]
-        within = (tc[:, None] & info.edge_masks[None, :]) == info.edge_masks
+        within = ((tc[:, None, :] & info.edge_masks[None, :, :])
+                  == info.edge_masks[None, :, :]).all(axis=-1)
         trow, tcol = np.nonzero(within)
         total_pairs += 2 * len(trow)
         target_of = tc[trow]
         desc = info.child_desc[tcol]
         # The split of a subtree by one edge: the child-side component is
         # S & desc[child]; scalar grow() computes exactly this set.
-        left_first = np.where(info.left_is_child[tcol],
+        left_first = np.where(info.left_is_child[tcol][:, None],
                               target_of & desc, target_of & ~desc)
         right_first = target_of ^ left_first
         li, _ = snapshot.lookup(left_first)
@@ -817,14 +969,20 @@ class VectorizedBackend(KernelBackend):
             self._scalar.run_subset_level(state, level, targets)
             return
         query, stats = state.query, state.stats
-        snapshot = snapshot_for(state, arena)
-        target_arr = np.fromiter(targets, dtype=np.int64, count=len(targets))
-        out_rows = np.asarray(query.rows_batch(target_arr), dtype=np.float64)
+        builder = builder_for(state)
+        snapshot = builder.refresh(arena)
+        targets = list(targets)
+        target_col = wb.pack(targets, builder.spec)
+        out_rows = np.asarray(query.rows_batch(target_col, spec=builder.spec),
+                              dtype=np.float64)
         best, winner_left, winner_right, total_ccp = run_subset_shard(
-            snapshot, query.cost_model, level, query.graph.n_relations,
-            target_arr, out_rows)
-        stats.record_pairs(level, len(target_arr) * ((1 << level) - 2), total_ccp)
-        arena.record_level(target_arr, best, out_rows, winner_left, winner_right)
+            snapshot, query.cost_model, level, builder.n_bits,
+            target_col, out_rows)
+        stats.record_pairs(level, len(targets) * ((1 << level) - 2), total_ccp)
+        arena.record_level(targets, best, out_rows,
+                           wb.unpack(winner_left, builder.spec),
+                           wb.unpack(winner_right, builder.spec), size=level)
+        builder.absorb(target_col)
 
     # ------------------------------------------------------------------ #
     # MPDP: block-restricted splits plus the grow-lift
@@ -835,14 +993,20 @@ class VectorizedBackend(KernelBackend):
             return
         arena = self._arena(state)
         query, stats = state.query, state.stats
-        snapshot = snapshot_for(state, arena)
-        target_arr = np.fromiter(targets, dtype=np.int64, count=len(targets))
-        out_rows = np.asarray(query.rows_batch(target_arr), dtype=np.float64)
+        builder = builder_for(state)
+        snapshot = builder.refresh(arena)
+        targets = list(targets)
+        target_col = wb.pack(targets, builder.spec)
+        out_rows = np.asarray(query.rows_batch(target_col, spec=builder.spec),
+                              dtype=np.float64)
         best, winner_left, winner_right, total_ccp, total_pairs = run_block_shard(
-            snapshot, query.cost_model, query.graph._adjacency,
-            query.graph.n_relations, target_arr, out_rows)
+            snapshot, query.cost_model, builder.kernel_adjacency,
+            builder.n_bits, target_col, out_rows)
         stats.record_pairs(level, total_pairs, total_ccp)
-        arena.record_level(target_arr, best, out_rows, winner_left, winner_right)
+        arena.record_level(targets, best, out_rows,
+                           wb.unpack(winner_left, builder.spec),
+                           wb.unpack(winner_right, builder.spec), size=level)
+        builder.absorb(target_col)
 
     # ------------------------------------------------------------------ #
     # MPDP:Tree: per-edge subtree splits
@@ -853,14 +1017,20 @@ class VectorizedBackend(KernelBackend):
             return
         arena = self._arena(state)
         query, stats = state.query, state.stats
-        snapshot = snapshot_for(state, arena)
+        builder = builder_for(state)
+        snapshot = builder.refresh(arena)
         info = tree_info_for(state)
-        target_arr = np.fromiter(targets, dtype=np.int64, count=len(targets))
-        out_rows = np.asarray(query.rows_batch(target_arr), dtype=np.float64)
+        targets = list(targets)
+        target_col = wb.pack(targets, builder.spec)
+        out_rows = np.asarray(query.rows_batch(target_col, spec=builder.spec),
+                              dtype=np.float64)
         best, winner_left, winner_right, total_pairs = run_tree_shard(
-            snapshot, query.cost_model, info, target_arr, out_rows)
+            snapshot, query.cost_model, info, target_col, out_rows)
         stats.record_pairs(level, total_pairs, total_pairs)
-        arena.record_level(target_arr, best, out_rows, winner_left, winner_right)
+        arena.record_level(targets, best, out_rows,
+                           wb.unpack(winner_left, builder.spec),
+                           wb.unpack(winner_right, builder.spec), size=level)
+        builder.absorb(target_col)
 
     # ------------------------------------------------------------------ #
     # DPsize: cross products of memoised plan sizes
@@ -869,7 +1039,10 @@ class VectorizedBackend(KernelBackend):
         arena = self._arena(state)
         query, stats = state.query, state.stats
         model = query.cost_model
-        snapshot = snapshot_for(state, arena)
+        builder = builder_for(state)
+        snapshot = builder.refresh(arena)
+        words = snapshot.words
+        spec = snapshot.spec
         parts: List[Tuple[np.ndarray, ...]] = []
         total_pairs = 0
         total_ccp = 0
@@ -882,26 +1055,30 @@ class VectorizedBackend(KernelBackend):
             if count == 0:
                 continue
             total_pairs += count
-            left_arr = np.fromiter(left_keys, np.int64, len(left_keys))
-            right_arr = np.fromiter(right_keys, np.int64, len(right_keys))
-            li_all, _ = snapshot.lookup(left_arr)
-            ri_all, _ = snapshot.lookup(right_arr)
+            left_col = wb.pack(left_keys, spec)
+            right_col = wb.pack(right_keys, spec)
+            li_all, _ = snapshot.lookup(left_col)
+            ri_all, _ = snapshot.lookup(right_col)
             neighbours = snapshot.neighbours[li_all]
-            chunk = max(1, _CHUNK_ELEMENTS // len(right_keys))
+            chunk = max(1, _CHUNK_ELEMENTS // (len(right_keys) * words))
             for start in range(0, len(left_keys), chunk):
-                lc = left_arr[start:start + chunk]
+                lc = left_col[start:start + chunk]
                 nc = neighbours[start:start + chunk]
                 lic = li_all[start:start + chunk]
-                valid = ((lc[:, None] & right_arr[None, :]) == 0)
-                valid &= (nc[:, None] & right_arr[None, :]) != 0
+                overlap = lc[:, None, :] & right_col[None, :, :]
+                valid = ~wb.any_bits(overlap)
+                valid &= wb.any_bits(nc[:, None, :] & right_col[None, :, :])
                 vrow, vcol = np.nonzero(valid)
                 if len(vrow) == 0:
                     continue
                 total_ccp += len(vrow)
                 left = lc[vrow]
-                right = right_arr[vcol]
+                right = right_col[vcol]
                 combined = left | right
-                out = np.asarray(query.rows_batch(combined), dtype=np.float64)
+                # rows_batch folds the packed column in the run's own
+                # layout (identity or remap) — no full-width round trip.
+                out = np.asarray(query.rows_batch(combined, spec=spec),
+                                 dtype=np.float64)
                 cost = model.cost_batch(
                     snapshot.rows[lic[vrow]], snapshot.costs[lic[vrow]],
                     snapshot.rows[ri_all[vcol]], snapshot.costs[ri_all[vcol]],
@@ -918,8 +1095,10 @@ class VectorizedBackend(KernelBackend):
         left = np.concatenate([p[3] for p in parts])
         right = np.concatenate([p[4] for p in parts])
         out = np.concatenate([p[5] for p in parts])
-        unique, inverse = np.unique(combined, return_inverse=True)
-        n_new = len(unique)
+        combined_keys = wb.sort_keys(combined)
+        _, first_index, inverse = np.unique(
+            combined_keys, return_index=True, return_inverse=True)
+        n_new = len(first_index)
         # Every valid target of this level is first planned here, exactly
         # once; record it like the scalar path's first-discovery record_set.
         stats.record_sets(level, n_new)
@@ -934,6 +1113,10 @@ class VectorizedBackend(KernelBackend):
         # Insertion order = order of each target's first valid pair, which is
         # how the scalar memo first saw them.
         insertion = np.argsort(first_seq)
-        arena.record_level(unique[insertion], best[insertion],
-                           winner_rows[insertion], winner_left[insertion],
-                           winner_right[insertion])
+        winner_col = combined[first_index][insertion]
+        arena.record_level(wb.unpack(winner_col, spec),
+                           best[insertion], winner_rows[insertion],
+                           wb.unpack(winner_left[insertion], spec),
+                           wb.unpack(winner_right[insertion], spec),
+                           size=level)
+        builder.absorb(winner_col)

@@ -11,19 +11,19 @@ plumbing make that work here:
   into its inner exact optimizer and into its own batched loops
   (:mod:`repro.exec.heuristic_kernels`).
 
-* :func:`optimize_fragment` — fragment dispatch.  The vectorized/multicore
-  kernels pack vertex bitmaps into int64 lanes and therefore degrade to
-  scalar on graphs wider than :data:`~repro.exec.backend.MAX_VECTOR_RELATIONS`
-  relations — which used to mean that the heuristics *never* benefited from
-  the kernels precisely on the large queries they exist for.  Fragments of
-  wide graphs are now extracted into compact sub-queries
-  (:meth:`~repro.core.query.QueryInfo.extract`) first, which is
-  bit-identical by construction (shared leaf plans, root-routed
-  cardinalities, order-isomorphic enumeration) and puts the fragment DP
-  back inside the kernels' lane width.  Queries at or below the lane width
-  keep the historical subset-scoped path, so the shared per-graph
-  :class:`~repro.core.enumeration.EnumerationContext` caches still carry
-  across fragments there.
+* :func:`optimize_fragment` — fragment dispatch.  The kernels carry
+  multi-word bitmap columns (:mod:`repro.core.widebitmap`), so a fragment
+  of a 1000-relation graph optimizes *natively*, subset-scoped against the
+  full-width graph — sharing the graph's per-run
+  :class:`~repro.core.enumeration.EnumerationContext` caches across every
+  fragment of a run.  Extraction into a compact renumbered sub-query
+  (:meth:`~repro.core.query.QueryInfo.extract`) remains only as the
+  numpy-less fallback (the scalar loops have no width problem, but compact
+  masks keep their Python bigint operations small) and as an explicitly
+  requestable legacy route for benchmarking; both routes are bit-identical
+  by construction (shared leaf plans, root-routed cardinalities,
+  order-isomorphic enumeration), which
+  ``benchmarks/bench_large_queries.py`` asserts at every size.
 """
 
 from __future__ import annotations
@@ -34,13 +34,26 @@ from ..core.query import QueryInfo
 from ..exec import (
     AUTO_VECTORIZE_MIN_RELATIONS,
     BACKEND_NAMES,
-    MAX_VECTOR_RELATIONS,
     heuristic_kernels_supported,
     validate_workers,
 )
 from ..optimizers.base import JoinOrderOptimizer, PlanResult
 
-__all__ = ["HeuristicBackendMixin", "optimize_fragment"]
+__all__ = ["HeuristicBackendMixin", "optimize_fragment", "FRAGMENT_DISPATCH"]
+
+#: How :func:`optimize_fragment` routes wide-graph fragments: ``"native"``
+#: (the default — subset-scoped on the full-width graph, multi-word kernel
+#: columns) or ``"extract"`` (the legacy renumber-into-compact-sub-query
+#: route, kept for numpy-less environments and for the native-vs-extract
+#: benchmark comparison).  Results are bit-identical either way; the toggle
+#: only moves time.
+FRAGMENT_DISPATCH = "native"
+
+#: Fragments at or below this relation count always take the subset-scoped
+#: path, even under ``"extract"`` dispatch or without numpy — extraction
+#: overhead cannot pay for itself on tiny fragments, and the scalar loops
+#: are width-agnostic anyway.
+_EXTRACT_MIN_RELATIONS = 62
 
 
 class HeuristicBackendMixin:
@@ -93,15 +106,22 @@ class HeuristicBackendMixin:
 
 def optimize_fragment(exact: JoinOrderOptimizer, query: QueryInfo,
                       fragment: int) -> PlanResult:
-    """Run ``exact`` on one fragment of ``query``, extracting when wide.
+    """Run ``exact`` on one fragment of ``query``.
 
-    On graphs wider than the kernel lane width the fragment is extracted
-    into a compact sub-query so the inner DP can vectorize; the returned
-    plan is expressed over the same (root-space) leaf plans either way, so
-    results are bit-identical across the two routes — and across backends,
-    because the route depends only on the query, never on the backend.
+    The default route is subset-scoped optimization against the full-width
+    graph: the kernel columns are multi-word, so wide graphs need no
+    renumbering, and every fragment of a run shares the graph's
+    :class:`~repro.core.enumeration.EnumerationContext` caches.  The
+    extract route (renumber the fragment into a compact sub-query first)
+    runs only without numpy or when :data:`FRAGMENT_DISPATCH` explicitly
+    requests it.  The returned plan is expressed over the same (root-space)
+    leaf plans either way, so results are bit-identical across the two
+    routes — and across backends, because the route never depends on the
+    backend.
     """
-    if (query.graph.n_relations > MAX_VECTOR_RELATIONS
-            and fragment != query.all_relations_mask):
+    if (fragment != query.all_relations_mask
+            and query.graph.n_relations > _EXTRACT_MIN_RELATIONS
+            and (FRAGMENT_DISPATCH == "extract"
+                 or not heuristic_kernels_supported())):
         return exact.optimize(query.extract(fragment))
     return exact.optimize(query, subset=fragment)

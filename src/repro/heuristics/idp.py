@@ -28,9 +28,12 @@ inner exact optimizer's kernel execution backend, **one** inner instance is
 built per driver and reused for every fragment of every ``optimize()`` call
 (so per-query caches such as the enumeration context and the kernel
 snapshot state warm up across fragments instead of being rebuilt per
-``exact_factory()`` call), and fragments of graphs wider than the kernels'
-int64 lane width are extracted into compact sub-queries before the inner
-DP runs.
+``exact_factory()`` call), and every fragment — at any graph width — runs
+subset-scoped against the full-width graph: the kernels carry multi-word
+bitmap columns (:mod:`repro.core.widebitmap`), so wide fragments no longer
+detour through :meth:`QueryInfo.extract` (that renumbering route survives
+only as the numpy-less fallback; see
+:func:`repro.heuristics.common.optimize_fragment`).
 """
 
 from __future__ import annotations

@@ -19,9 +19,10 @@ Kernelized-ladder contract (see :mod:`repro.heuristics.common`): with
 loop executes as the batched :func:`~repro.exec.heuristic_kernels.lindp_merge`
 kernel — one prefix-sum-filtered ``cost_batch`` evaluation per DP length
 instead of one Python iteration (and one throwaway ``Plan``) per candidate
-split.  The kernel works in linear-order *position* space, so unlike the
-exact-DP kernels it has no 62-relation lane-width ceiling — it runs the
-paper's 100-300-relation LinDP band directly.  :class:`AdaptiveLinDP`
+split.  The kernel works in linear-order *position* space; the exact-DP
+kernels it rides alongside are width-free too (multi-word bitmap columns,
+see :mod:`repro.core.widebitmap`), so the paper's 100-300-relation LinDP
+band runs natively end to end.  :class:`AdaptiveLinDP`
 threads ``backend=``/``workers=`` into all three of its rungs, reusing one
 inner optimizer per rung across calls.
 """

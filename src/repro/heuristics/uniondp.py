@@ -26,11 +26,12 @@ Kernelized-ladder contract (see :mod:`repro.heuristics.common`):
 caches warm across fragments — and, for non-scalar backends, the greedy
 partition scan runs as the batched
 :func:`~repro.exec.heuristic_kernels.greedy_union_partition` kernel.
-Fragments of graphs wider than the kernels' int64 lane width are extracted
-into compact sub-queries first; at or below the lane width all fragment
-optimizations of one round run against the *same* join graph with different
-``within=`` scopes, so they share the graph's
-:class:`~repro.core.enumeration.EnumerationContext` (see PERFORMANCE.md).
+All fragment optimizations of one round run against the *same* join graph
+with different ``within=`` scopes — at any width, since the kernels carry
+multi-word bitmap columns (:mod:`repro.core.widebitmap`) — so they share
+the graph's :class:`~repro.core.enumeration.EnumerationContext` (see
+PERFORMANCE.md).  Extraction into compact sub-queries survives only as the
+numpy-less fallback inside :func:`~repro.heuristics.common.optimize_fragment`.
 """
 
 from __future__ import annotations
@@ -88,10 +89,9 @@ class UnionDP(HeuristicBackendMixin, JoinOrderOptimizer):
             partitions = self._partition(current)
             partition_plans: List[Plan] = []
             # Every fragment below is optimized with the shared inner
-            # optimizer; on lane-width graphs all fragments run on
-            # ``current``'s graph with different ``within=`` scopes and share
-            # its EnumerationContext, on wider graphs each fragment is
-            # extracted into a compact sub-query so the kernels can run.
+            # optimizer: all fragments run on ``current``'s graph with
+            # different ``within=`` scopes and share its EnumerationContext
+            # (the kernels' multi-word columns handle any graph width).
             for partition in partitions:
                 if bms.popcount(partition) == 1:
                     partition_plans.append(current.leaf_plan(bms.lowest_bit_index(partition)))

@@ -245,13 +245,16 @@ class TestBackendResolution:
         subset = bms.from_indices(range(4))
         assert isinstance(resolve_backend("auto", large, subset), ScalarBackend)
 
-    def test_wide_graphs_fall_back_to_scalar(self):
+    def test_wide_graphs_run_natively(self):
+        # Multi-word bitmap columns: width is an array parameter, not a
+        # capability — a 70-relation graph resolves to the real kernels.
         graph = JoinGraph(70)
         for vertex in range(1, 70):
             graph.add_edge(0, vertex, selectivity=1e-3)
         query = QueryInfo(graph, [1e3] * 70)
-        assert not vectorized_supported(query)
-        assert isinstance(resolve_backend("vectorized", query), ScalarBackend)
+        assert vectorized_supported(query)
+        assert isinstance(resolve_backend("vectorized", query),
+                          VectorizedBackend)
 
     def test_capabilities_report_backends(self):
         # The exact kernel-pipeline optimizers AND the kernelized heuristic

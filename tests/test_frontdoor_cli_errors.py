@@ -68,9 +68,9 @@ class TestFrontDoorErrors:
         with pytest.raises(OptimizationError):
             plan_sql_many([good, "select * from a, c"], catalog)
 
-    def test_wide_query_multicore_request_degrades_to_scalar(self):
-        """>62 relations cannot ride int64 kernel lanes: the multicore
-        request must degrade to working scalar plans, not fail."""
+    def test_wide_query_multicore_request_runs_natively(self):
+        """>62 relations ride multi-word kernel columns: the multicore
+        request must resolve to the real backend and produce a plan."""
         n = 65
         tables = [f"t{i}" for i in range(n)]
         catalog = _catalog(*tables)
@@ -80,10 +80,11 @@ class TestFrontDoorErrors:
         planned = plan_sql(sql, catalog, backend="multicore", workers=2)
         assert planned.outcome.plan is not None
         assert planned.outcome.decision.backend == "multicore"
-        # The degrade happens at backend resolution, per run:
+        from repro.exec.multicore import MulticoreBackend
+
         query = planned.parsed.query
         assert isinstance(resolve_backend("multicore", query, workers=2),
-                          ScalarBackend)
+                          MulticoreBackend)
 
 
 class TestCLIErrorPaths:

@@ -244,3 +244,101 @@ def test_heuristic_band_case(index):
                 f"{context}: {name} {backend} w={workers}")
         if optimum is not None:
             assert reference.cost >= optimum, f"{context}: {name} vs optimum"
+
+
+# --------------------------------------------------------------------- #
+# Wide band: multi-word kernel columns beyond the old 62-relation ceiling
+# --------------------------------------------------------------------- #
+N_WIDE_CASES = 8
+
+#: Boundary widths around the one- and two-word lane edges (62 was the old
+#: signed-int64 ceiling; 64/65 and 128/129 are the word roll-overs).
+BOUNDARY_WIDTHS = (62, 63, 64, 65, 128, 129)
+
+
+def make_wide_case(index: int):
+    """Seeded 63-130-relation case for the multi-word kernel band.
+
+    Exact MPDP runs on chains only (connected intervals keep the pair
+    space quadratic at these widths; every other shape blows up), so the
+    heuristic ladder carries the structural variety: stars, snowflakes
+    and sparse random graphs whose masks span 2-3 uint64 words.
+    """
+    rng = random.Random(index * 6151 + 23)
+    n = rng.randint(63, 130)
+    shape = rng.choice(["star", "snowflake", "random_sparse"])
+    seed = rng.randrange(1 << 20)
+    cost_model_factory = CoutCostModel if index % 2 else PostgresCostModel
+
+    def factory():
+        model = cost_model_factory()
+        if shape == "star":
+            return star_query(n, seed=seed, cost_model=model)
+        if shape == "snowflake":
+            return snowflake_query(n, seed=seed, cost_model=model)
+        return random_connected_query(n, extra_edge_probability=0.02,
+                                      seed=seed, cost_model=model)
+
+    def chain_factory():
+        return chain_query(n, seed=seed,
+                           cost_model=cost_model_factory())
+
+    return factory, chain_factory, {"n": n, "shape": shape, "seed": seed,
+                                    "index": index}
+
+
+@pytest.mark.multicore
+@pytest.mark.parametrize("index", range(N_WIDE_CASES))
+def test_wide_band_case(index):
+    factory, chain_factory, meta = make_wide_case(index)
+    context = f"wide band case {meta}"
+    workers = WORKER_ROTATION[index % len(WORKER_ROTATION)]
+
+    # Exact MPDP on the same-width chain: scalar vs both kernel backends.
+    reference = MPDP(backend="scalar").optimize(chain_factory())
+    reference.plan.validate()
+    vectorized = MPDP(backend="vectorized").optimize(chain_factory())
+    assert_bit_identical(reference, vectorized,
+                         f"{context}: wide chain MPDP vectorized")
+    multicore = MPDP(backend="multicore",
+                     workers=workers).optimize(chain_factory())
+    assert_bit_identical(reference, multicore,
+                         f"{context}: wide chain MPDP multicore w={workers}")
+
+    # The heuristic ladder on the structurally varied wide graph (two
+    # drivers per case, rotating, like the main corpus — every driver
+    # appears across the band at a fraction of the scalar-reference cost).
+    picks = (BAND_FACTORIES[index % len(BAND_FACTORIES)],
+             BAND_FACTORIES[(index + 1) % len(BAND_FACTORIES)])
+    for name, make in picks:
+        heuristic_reference = make("scalar", None).optimize(factory())
+        heuristic_reference.plan.validate()
+        for backend in ("vectorized", "multicore"):
+            other = make(backend, workers if backend == "multicore"
+                         else None).optimize(factory())
+            assert_bit_identical(
+                heuristic_reference, other,
+                f"{context}: {name} {backend} w={workers}")
+
+
+@pytest.mark.multicore
+@pytest.mark.parametrize("n", BOUNDARY_WIDTHS)
+def test_word_boundary_width(n):
+    """Chain MPDP at the exact lane-boundary widths, all three backends.
+
+    62 is the retired signed-int64 kernel ceiling, 63/64 fill the first
+    word, 65 is the first two-word mask and 128/129 the two/three-word
+    edge — the widths where a packing off-by-one would first corrupt a
+    mask."""
+    context = f"boundary n={n}"
+
+    def factory():
+        return chain_query(n, seed=7, cost_model=CoutCostModel())
+
+    reference = MPDP(backend="scalar").optimize(factory())
+    reference.plan.validate()
+    for backend, workers in (("vectorized", None),
+                             ("multicore", 2 + 2 * (n % 2))):
+        other = MPDP(backend=backend, workers=workers).optimize(factory())
+        assert_bit_identical(reference, other,
+                             f"{context}: {backend} w={workers}")

@@ -24,8 +24,10 @@ from pathlib import Path
 
 import pytest
 
+from repro.heuristics import IDP2
 from repro.optimizers import MPDP
 from repro.workloads import (
+    chain_query,
     clique_query,
     musicbrainz_query,
     snowflake_query,
@@ -40,13 +42,32 @@ WORKLOAD_FACTORIES = {
     "fig07_snowflake_n12_seed0": lambda: snowflake_query(12, seed=0),
     "fig08_clique_n9_seed0": lambda: clique_query(9, seed=0),
     "fig09_musicbrainz_n13_seed0": lambda: musicbrainz_query(13, seed=0),
+    # Wide (> 62-relation) workloads: masks span multiple uint64 words on
+    # the kernel backends, so these pin the reference plans the multi-word
+    # columns must keep reproducing.  Exact MPDP stays on chains (O(n^2)
+    # connected intervals; cycles blow up exponentially under the block
+    # enumeration), with n = 65 sitting right past the one-lane boundary;
+    # the snowflake is pinned under the IDP2 fragment ladder the
+    # large-query band runs.
+    "wide_chain_n65_seed1": lambda: chain_query(65, seed=1),
+    "wide_chain_n100_seed1": lambda: chain_query(100, seed=1),
+    "wide_snowflake_n100_seed1": lambda: snowflake_query(100, seed=1),
+}
+
+#: Per-workload optimizer override (default: exact MPDP on the scalar
+#: reference backend).  The wide snowflake would be intractable for exact
+#: DP, so it pins the scalar IDP2 ladder instead.
+DRIVER_FACTORIES = {
+    "wide_snowflake_n100_seed1": lambda: IDP2(k=8, backend="scalar"),
 }
 
 
 def snapshot_of(workload: str) -> dict:
     """The canonical snapshot record for one workload."""
     query = WORKLOAD_FACTORIES[workload]()
-    result = MPDP(backend="scalar").optimize(query)
+    make_driver = DRIVER_FACTORIES.get(
+        workload, lambda: MPDP(backend="scalar"))
+    result = make_driver().optimize(query)
     result.plan.validate()
     return {
         "workload": workload,

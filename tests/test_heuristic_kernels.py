@@ -112,10 +112,13 @@ class TestExtract:
         with pytest.raises(ValueError):
             query.extract(bms.bit(6))
 
-    def test_wide_graph_fragments_are_extracted_by_the_drivers(self, monkeypatch):
-        """optimize_fragment must route >62-relation fragments through
-        extract() (lane-width rule), and <=62-relation queries through the
-        historical subset-scoped path (context sharing rule)."""
+    def test_wide_graph_fragments_dispatch_natively(self, monkeypatch):
+        """optimize_fragment keeps >62-relation fragments subset-scoped on
+        the full-width graph (multi-word kernel columns make extraction
+        unnecessary); the extract route only fires when explicitly
+        requested via FRAGMENT_DISPATCH (the numpy-less fallback path)."""
+        import repro.heuristics.common as common_module
+
         calls = {"extract": 0}
         original = type(chain_query(4, seed=0)).extract
 
@@ -125,11 +128,18 @@ class TestExtract:
 
         monkeypatch.setattr("repro.core.query.QueryInfo.extract", counting)
         wide = chain_query(70, seed=0)
-        optimize_fragment(MPDP(), wide, connected_fragment(wide, 6))
-        assert calls["extract"] == 1
+        native = optimize_fragment(MPDP(), wide, connected_fragment(wide, 6))
+        assert calls["extract"] == 0
         narrow = chain_query(30, seed=0)
         optimize_fragment(MPDP(), narrow, connected_fragment(narrow, 6))
-        assert calls["extract"] == 1  # unchanged
+        assert calls["extract"] == 0
+        # The legacy route stays available (and bit-identical) on request.
+        monkeypatch.setattr(common_module, "FRAGMENT_DISPATCH", "extract")
+        extracted = optimize_fragment(MPDP(), wide,
+                                      connected_fragment(wide, 6))
+        assert calls["extract"] == 1
+        assert extracted.cost == native.cost
+        assert str(extracted.plan) == str(native.plan)
 
 
 # --------------------------------------------------------------------- #

@@ -277,14 +277,15 @@ class TestResolutionAndKnobs:
         with pytest.raises(ValueError, match="positive integer"):
             AdaptivePlanner(workers=0)
 
-    def test_wide_graphs_fall_back_to_scalar(self):
-        """>62-relation masks cannot ride int64 lanes: quiet scalar degrade."""
+    def test_wide_graphs_shard_natively(self):
+        """>62-relation masks ride multi-word bitmap columns: a multicore
+        request on a wide graph resolves to the real sharded backend."""
         graph = JoinGraph(70)
         for vertex in range(1, 70):
             graph.add_edge(0, vertex, selectivity=1e-3)
         query = QueryInfo(graph, [1e3] * 70)
         assert isinstance(resolve_backend("multicore", query, workers=4),
-                          ScalarBackend)
+                          MulticoreBackend)
 
     def test_auto_escalates_to_multicore_on_big_machines(self, monkeypatch):
         import repro.exec.backend as backend_module
@@ -365,9 +366,9 @@ class TestKernelStateHoist:
         created = []
         original_init = SnapshotBuilder.__init__
 
-        def counting_init(self, graph):
+        def counting_init(self, graph, scope=None):
             created.append(graph)
-            original_init(self, graph)
+            original_init(self, graph, scope)
 
         monkeypatch.setattr(SnapshotBuilder, "__init__", counting_init)
         result = MPDP(backend="vectorized").optimize(musicbrainz_query(12, seed=0))
