@@ -51,3 +51,10 @@ def pytest_configure(config):
         "(benchmarks/bench_large_queries.py; the CI perf-smoke job runs "
         "the --quick band, n <= 200)",
     )
+    config.addinivalue_line(
+        "markers",
+        "service: concurrent planner-service tests (striped cache, "
+        "thread-pool service, admission control; "
+        "benchmarks/bench_service_throughput.py and "
+        "tests/test_planner_service.py; select with -m service)",
+    )

@@ -44,6 +44,7 @@ enumeration universe.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Dict, Iterator, List, Optional, Tuple
 
@@ -178,6 +179,15 @@ class EnumerationContext:
     # ------------------------------------------------------------------ #
     # Acquisition
     # ------------------------------------------------------------------ #
+    #: Guards first-time context creation only (the read path is lock-free:
+    #: attribute reads are atomic under the GIL).  Without it, two threads
+    #: racing :meth:`of` on a fresh graph could each build a context and
+    #: split their memo tables across the loser's orphan.  Note the memo
+    #: tables themselves are *not* synchronized: concurrent optimization of
+    #: the same graph object is the planner's singleflight's job to prevent
+    #: (see :class:`repro.planner.service.AdaptivePlanner`).
+    _of_lock = threading.Lock()
+
     @classmethod
     def of(cls, graph: JoinGraph) -> "EnumerationContext":
         """The context cached on ``graph`` (created on first use).
@@ -188,8 +198,11 @@ class EnumerationContext:
         """
         context = getattr(graph, "_enum_context", None)
         if context is None:
-            context = cls(graph)
-            graph._enum_context = context
+            with cls._of_lock:
+                context = getattr(graph, "_enum_context", None)
+                if context is None:
+                    context = cls(graph)
+                    graph._enum_context = context
         return context
 
     # ------------------------------------------------------------------ #

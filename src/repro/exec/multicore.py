@@ -50,12 +50,13 @@ are tiny.  DPsize levels always run in-process: their pair grid needs
 on-the-fly cardinality estimation for combined masks, which lives in the
 parent's estimator.
 
-Worker pools are cached per worker count at module level and persist across
-optimizer runs (a backend instance is created per run, a pool is not);
-``shutdown_worker_pools()`` tears them down, and an ``atexit`` hook does so
-at interpreter exit.  Workers are daemonic, stateless between tasks, and
-receive everything per task, so interleaved runs from different queries
-cannot poison each other.
+Worker pools live in the process-wide :data:`POOL_REGISTRY`
+(:class:`WorkerPoolRegistry`): one shared pool per worker count, reused
+across optimizer runs, concurrent planners and services (a backend instance
+is created per run, a pool is not).  ``shutdown_worker_pools()`` tears them
+down, and an ``atexit`` hook does so at interpreter exit.  Workers are
+daemonic, stateless between tasks, and receive everything per task, so
+interleaved runs from different queries cannot poison each other.
 """
 
 from __future__ import annotations
@@ -96,7 +97,10 @@ from .vectorized import (
 
 __all__ = [
     "MulticoreBackend",
+    "WorkerPoolRegistry",
+    "POOL_REGISTRY",
     "available_workers",
+    "pool_registry_info",
     "shutdown_worker_pools",
     "MULTICORE_MIN_TARGETS",
     "MULTICORE_MIN_WORK",
@@ -292,6 +296,10 @@ class _WorkerPool:
         self._conns = []
         self._procs = []
         self._broken = False
+        #: Observability counters (read via ``WorkerPoolRegistry.info``);
+        #: updated under ``_lock`` inside :meth:`run_tasks`.
+        self.levels_dispatched = 0
+        self.tasks_dispatched = 0
         #: Pools are shared per worker count across runs — and a shared
         #: AdaptivePlanner may serve concurrent threads — so one level's
         #: send/recv exchange must be atomic per pool, or two threads would
@@ -325,6 +333,8 @@ class _WorkerPool:
                 f"{len(tasks)} tasks for {self.n_workers} workers; shard "
                 "count must not exceed the pool size")
         with self._lock:
+            self.levels_dispatched += 1
+            self.tasks_dispatched += len(tasks)
             for conn, task in zip(self._conns, tasks):
                 conn.send(task)
             results: List[tuple] = []
@@ -364,27 +374,89 @@ class _WorkerPool:
         self._procs = []
 
 
-_POOLS: Dict[int, _WorkerPool] = {}
-_POOLS_LOCK = threading.Lock()
+class WorkerPoolRegistry:
+    """Process-wide registry of shared kernel worker pools.
+
+    One pool exists per requested worker count, shared by every backend
+    instance, optimizer run, planner and service thread in the process —
+    concurrent planners *reuse* worker processes instead of each spawning
+    their own (per-pool pipe exchanges are serialised by the pool's own
+    lock, so sharing is safe; distinct worker counts run concurrently on
+    distinct pools).  Dead pools (a worker crashed mid-level) are detected
+    on lease and rebuilt transparently.
+
+    The module-level :data:`POOL_REGISTRY` is the process-wide instance;
+    :func:`shutdown_worker_pools` tears its pools down (idempotent, an
+    ``atexit`` hook does so at interpreter exit) and
+    :func:`pool_registry_info` snapshots its counters — surfaced by
+    :meth:`repro.planner.server.PlannerService.stats`.
+    """
+
+    def __init__(self) -> None:
+        self._pools: Dict[int, _WorkerPool] = {}
+        self._lock = threading.Lock()
+        self.pools_created = 0
+        self.pools_rebuilt = 0
+
+    def lease(self, n_workers: int) -> _WorkerPool:
+        """The shared pool for ``n_workers`` (created/rebuilt on demand)."""
+        with self._lock:
+            pool = self._pools.get(n_workers)
+            if pool is None or not pool.alive:
+                if pool is not None:
+                    pool.shutdown()
+                    self.pools_rebuilt += 1
+                pool = _WorkerPool(n_workers)
+                self._pools[n_workers] = pool
+                self.pools_created += 1
+            return pool
+
+    def shutdown(self) -> None:
+        """Stop every pool (idempotent; pools are re-created on demand)."""
+        with self._lock:
+            for pool in self._pools.values():
+                pool.shutdown()
+            self._pools.clear()
+
+    def info(self) -> Dict[str, object]:
+        """Counter snapshot: per-pool liveness and dispatch totals."""
+        with self._lock:
+            pools = {
+                str(n_workers): {
+                    "workers": n_workers,
+                    "alive": pool.alive,
+                    "levels_dispatched": pool.levels_dispatched,
+                    "tasks_dispatched": pool.tasks_dispatched,
+                }
+                for n_workers, pool in self._pools.items()
+            }
+            return {
+                "pools": pools,
+                "pools_created": self.pools_created,
+                "pools_rebuilt": self.pools_rebuilt,
+            }
+
+
+#: The process-wide shared pool registry.
+POOL_REGISTRY = WorkerPoolRegistry()
+
+#: Back-compat alias: the registry's live pool mapping (tests and older
+#: callers index it by worker count).
+_POOLS = POOL_REGISTRY._pools
 
 
 def _pool_for(n_workers: int) -> _WorkerPool:
-    with _POOLS_LOCK:
-        pool = _POOLS.get(n_workers)
-        if pool is None or not pool.alive:
-            if pool is not None:
-                pool.shutdown()
-            pool = _WorkerPool(n_workers)
-            _POOLS[n_workers] = pool
-        return pool
+    return POOL_REGISTRY.lease(n_workers)
+
+
+def pool_registry_info() -> Dict[str, object]:
+    """Snapshot of :data:`POOL_REGISTRY` counters (see its docstring)."""
+    return POOL_REGISTRY.info()
 
 
 def shutdown_worker_pools() -> None:
     """Stop every cached worker pool (idempotent; re-created on demand)."""
-    with _POOLS_LOCK:
-        for pool in _POOLS.values():
-            pool.shutdown()
-        _POOLS.clear()
+    POOL_REGISTRY.shutdown()
 
 
 atexit.register(shutdown_worker_pools)

@@ -14,7 +14,13 @@ of query optimization as a throughput-bound service):
 * :mod:`~repro.planner.service` — :class:`AdaptivePlanner`, the paper's
   exact -> IDP2 -> LinDP -> GOO routing policy with harness-style time
   budgets and a deduplicating ``plan_many()`` batch API;
-* :mod:`~repro.planner.cli` — the ``repro-plan`` console script.
+* :mod:`~repro.planner.server` — :class:`PlannerService`, the bounded
+  thread-pool planning service (admission control with load shedding,
+  per-request queue deadlines, warm-start cache persistence, shared kernel
+  worker pools) and the zipfian replay harness behind
+  ``benchmarks/bench_service_throughput.py``;
+* :mod:`~repro.planner.cli` — the ``repro-plan`` console script
+  (``plan`` / ``serve`` / ``replay`` subcommands).
 
 Quickstart::
 
@@ -34,6 +40,13 @@ from .registry import (
     RegisteredOptimizer,
     build_default_registry,
 )
+from .server import (
+    PlannerService,
+    ServiceClosed,
+    ServiceReply,
+    replay_zipfian,
+    zipfian_indices,
+)
 from .service import AdaptivePlanner, PlannerDecision, PlanningOutcome
 
 __all__ = [
@@ -48,4 +61,9 @@ __all__ = [
     "AdaptivePlanner",
     "PlannerDecision",
     "PlanningOutcome",
+    "PlannerService",
+    "ServiceClosed",
+    "ServiceReply",
+    "replay_zipfian",
+    "zipfian_indices",
 ]

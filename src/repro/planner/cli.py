@@ -1,10 +1,21 @@
-"""``repro-plan`` console script: SQL in, chosen algorithm + plan out.
+"""``repro-plan`` console script: plan one query, or run the service.
 
-Parses an inner-equi-join SQL query, routes it through the
-:class:`~repro.planner.service.AdaptivePlanner` front door and prints the
-classification, the routing decision and the chosen plan::
+Three subcommands (a bare invocation defaults to ``plan``):
 
-    repro-plan "select * from a, b, c where a.x = b.x and b.y = c.y"
+``repro-plan [plan] "select ..."``
+    Parse an inner-equi-join SQL query, route it through the
+    :class:`~repro.planner.service.AdaptivePlanner` front door and print
+    the classification, the routing decision and the chosen plan.
+
+``repro-plan serve --catalog cat.json [--queries file]``
+    Start a :class:`~repro.planner.server.PlannerService` on the catalog
+    and serve SQL statements (one per line, from ``--queries`` or stdin),
+    printing one reply line per statement and the service stats at EOF.
+
+``repro-plan replay --queries file [--requests N --threads T]``
+    Replay a zipfian request stream over the file's distinct queries
+    through a fresh service and print the ``BENCH_service.json``-style
+    summary (qps, p50/p99 latency, hit rate, shed count) as JSON.
 
 Catalog statistics come from an optional JSON file (``--catalog``)::
 
@@ -15,8 +26,8 @@ Catalog statistics come from an optional JSON file (``--catalog``)::
       }
     }
 
-Tables the query references but the catalog does not define are registered
-automatically with ``--default-rows`` rows, so the command works out of the
+Tables the queries reference but the catalog does not define are registered
+automatically with ``--default-rows`` rows, so the commands work out of the
 box for quick plan-shape exploration.
 """
 
@@ -26,14 +37,17 @@ import argparse
 import json
 import os
 import sys
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from ..catalog.schema import Catalog
 from ..optimizers.base import OptimizationError
 from ..sql.parser import SQLParseError, referenced_tables
 from .service import AdaptivePlanner
 
-__all__ = ["main", "build_parser", "catalog_from_spec"]
+__all__ = ["main", "build_parser", "build_serve_parser",
+           "build_replay_parser", "catalog_from_spec"]
+
+_SUBCOMMANDS = ("plan", "serve", "replay")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -112,6 +126,19 @@ def catalog_from_spec(spec: Optional[dict], table_names: List[str],
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] in _SUBCOMMANDS:
+        command, rest = argv[0], argv[1:]
+    else:
+        command, rest = "plan", argv  # legacy flat invocation
+    if command == "serve":
+        return _main_serve(rest)
+    if command == "replay":
+        return _main_replay(rest)
+    return _main_plan(rest)
+
+
+def _main_plan(argv: List[str]) -> int:
     args = build_parser().parse_args(argv)
     if (args.sql is None) == (args.file is None):
         print("error: provide the query text either inline or via --file",
@@ -171,6 +198,196 @@ def main(argv: Optional[List[str]] = None) -> int:
         # devnull so the interpreter's exit-time stdout flush stays quiet.
         sys.stdout = open(os.devnull, "w")
         return 0
+    return 0
+
+
+# --------------------------------------------------------------------------- #
+# serve / replay: the PlannerService front ends
+# --------------------------------------------------------------------------- #
+def _add_service_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--catalog", "-c", default=None,
+                        help="JSON file with table statistics (see module docs)")
+    parser.add_argument("--default-rows", type=float, default=1e6,
+                        help="row count assumed for tables missing from the "
+                             "catalog (default: 1e6)")
+    parser.add_argument("--time-budget", type=float, default=None,
+                        help="per-query optimization budget in seconds")
+    parser.add_argument("--backend",
+                        choices=("scalar", "vectorized", "multicore", "auto"),
+                        default="auto",
+                        help="kernel execution backend for the DP inner "
+                             "loops (default: auto); plans are identical "
+                             "either way")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="worker-process count for the multicore kernel "
+                             "backend (default: one per usable CPU)")
+    parser.add_argument("--threads", type=int, default=4,
+                        help="service worker-thread count (default: 4)")
+    parser.add_argument("--queue-limit", type=int, default=64,
+                        help="bounded request-queue depth; admission sheds "
+                             "beyond it (default: 64)")
+    parser.add_argument("--deadline", type=float, default=None,
+                        help="per-request queue deadline in seconds "
+                             "(expired requests are answered without "
+                             "planning; default: no deadline)")
+    parser.add_argument("--warm-start", default=None, metavar="PATH",
+                        help="plan-cache persistence file: restored at "
+                             "startup when present, saved at shutdown")
+
+
+def build_serve_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-plan serve",
+        description="Start a planner service on a catalog and serve SQL "
+                    "statements (one per line) from a file or stdin.")
+    parser.add_argument("--queries", "-q", default=None,
+                        help="file with one SQL statement per line "
+                             "(default: read stdin); blank lines and "
+                             "#-comments are skipped")
+    _add_service_options(parser)
+    return parser
+
+
+def build_replay_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-plan replay",
+        description="Replay a zipfian request stream over a query file "
+                    "through the planner service and print the "
+                    "BENCH_service.json-style summary.")
+    parser.add_argument("--queries", "-q", required=True,
+                        help="file with one SQL statement per line (the "
+                             "distinct query population)")
+    parser.add_argument("--requests", "-n", type=int, default=10_000,
+                        help="replay length (default: 10000)")
+    parser.add_argument("--zipf-s", type=float, default=1.1,
+                        help="zipf skew exponent (default: 1.1)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="replay RNG seed (default: 0)")
+    _add_service_options(parser)
+    return parser
+
+
+def _read_statements(path: Optional[str]) -> List[str]:
+    """One SQL statement per non-blank, non-comment line."""
+    if path is None:
+        lines = sys.stdin.readlines()
+    else:
+        with open(path, "r", encoding="utf-8") as handle:
+            lines = handle.readlines()
+    statements = []
+    for line in lines:
+        text = line.strip().rstrip(";").strip()
+        if text and not text.startswith("#"):
+            statements.append(text)
+    return statements
+
+
+def _load_workload(args, statements: List[str]):
+    """(catalog, parsed queries) for a statement list; raises ValueError/
+    SQLParseError with readable messages."""
+    from ..sql.parser import parse_join_query
+
+    spec = None
+    if args.catalog is not None:
+        with open(args.catalog, "r", encoding="utf-8") as handle:
+            spec = json.load(handle)
+    tables: List[str] = []
+    for statement in statements:
+        tables.extend(referenced_tables(statement))
+    catalog = catalog_from_spec(spec, tables, args.default_rows)
+    parsed = [parse_join_query(statement, catalog, name=f"q{index}")
+              for index, statement in enumerate(statements)]
+    return catalog, parsed
+
+
+def _make_service(args):
+    from .server import PlannerService
+
+    planner = AdaptivePlanner(time_budget_seconds=args.time_budget,
+                              backend=args.backend, workers=args.workers)
+    return PlannerService(planner, workers=args.threads,
+                          queue_limit=args.queue_limit,
+                          deadline_seconds=args.deadline,
+                          warm_start_path=args.warm_start)
+
+
+def _main_serve(argv: List[str]) -> int:
+    args = build_serve_parser().parse_args(argv)
+    if args.threads < 1 or args.queue_limit < 1:
+        print("error: --threads and --queue-limit must be >= 1",
+              file=sys.stderr)
+        return 2
+    try:
+        statements = _read_statements(args.queries)
+        catalog, parsed = _load_workload(args, statements)
+    except (OSError, json.JSONDecodeError, ValueError,
+            SQLParseError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    if not parsed:
+        print("error: no SQL statements to serve", file=sys.stderr)
+        return 1
+    service = _make_service(args)
+    try:
+        for index, item in enumerate(parsed):
+            reply = service.plan(item.query)
+            if reply.status == "ok":
+                decision = reply.outcome.decision
+                print(f"q{index}: ok algorithm={decision.algorithm} "
+                      f"shape={decision.shape} "
+                      f"cost={reply.outcome.cost:,.1f} "
+                      f"cache_hit={decision.cache_hit} "
+                      f"ms={(reply.queue_seconds + reply.plan_seconds) * 1e3:.2f}")
+            else:
+                print(f"q{index}: {reply.status}"
+                      + (f" ({reply.error})" if reply.error else ""))
+        stats = service.stats()
+        cache = stats["cache"]
+        print(f"served {stats['submitted']} requests: "
+              f"{stats['statuses']}; "
+              f"cache entries={cache.get('entries', 0)} "
+              f"hit_rate={cache.get('hit_rate', 0.0):.2%}"
+              + (f"; warm-started {stats['restored_entries']} entries"
+                 if stats["restored_entries"] else ""))
+    finally:
+        service.close()
+    return 0
+
+
+def _main_replay(argv: List[str]) -> int:
+    args = build_replay_parser().parse_args(argv)
+    if args.threads < 1 or args.queue_limit < 1 or args.requests < 1:
+        print("error: --threads, --queue-limit and --requests must be >= 1",
+              file=sys.stderr)
+        return 2
+    from .server import replay_zipfian
+
+    try:
+        statements = _read_statements(args.queries)
+        catalog, parsed = _load_workload(args, statements)
+    except (OSError, json.JSONDecodeError, ValueError,
+            SQLParseError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    if not parsed:
+        print("error: no SQL statements to replay", file=sys.stderr)
+        return 1
+    service = _make_service(args)
+    try:
+        summary = replay_zipfian(
+            service, [item.query for item in parsed], args.requests,
+            client_threads=args.threads, zipf_s=args.zipf_s, seed=args.seed,
+            deadline_seconds=args.deadline)
+        stats = service.stats()
+        summary["statuses"] = dict(summary["statuses"])
+        summary["coalesced_plans"] = stats["coalesced_plans"]
+        summary["restored_entries"] = stats["restored_entries"]
+    except OptimizationError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    finally:
+        service.close()
+    print(json.dumps(summary, indent=2, sort_keys=True))
     return 0
 
 

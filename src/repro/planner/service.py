@@ -22,6 +22,33 @@ afford.  :class:`AdaptivePlanner` implements that policy behind a single
 
 The planner never changes what a chosen optimizer produces: the returned
 plan and cost are bit-identical to invoking that optimizer directly.
+
+**Thread safety.**  One ``AdaptivePlanner`` may serve concurrent threads
+(this is how :class:`~repro.planner.server.PlannerService` uses it):
+
+* the plan cache is striped and internally synchronized
+  (:class:`~repro.planner.cache.PlanCache`);
+* the budget memory (``_budget_exceeded``) is read and written under the
+  planner lock only;
+* every ``plan()`` call builds its *own* optimizer instances
+  (:meth:`_create_rung` never shares a rung across calls — the heuristic
+  drivers' shared inner exact optimizer is shared per *driver instance*,
+  which here means per call), so optimizer state is never crossed between
+  threads;
+* cacheable cache misses are **single-flighted** per cache key: the first
+  thread plans while structurally identical concurrent requests wait on a
+  per-key lock and are then served from the cache.  This both prevents the
+  thundering-herd duplicate planning a service would otherwise do on a cold
+  popular signature, and guarantees the *same* :class:`QueryInfo` object is
+  never optimized by two threads at once when caching is enabled (the
+  per-graph :class:`~repro.core.enumeration.EnumerationContext` memo tables
+  are not internally synchronized).
+
+The one unsupported pattern: concurrently planning the same ``QueryInfo``
+*object* with caching disabled (or the same non-cacheable — contracted /
+custom-leaf — object).  Regenerate per-thread query objects, or enable the
+cache.  ``tests/test_planner_service.py`` hammers one planner from eight
+threads and pins outcomes bit-identical to serial planning.
 """
 
 from __future__ import annotations
@@ -224,6 +251,12 @@ class AdaptivePlanner:
         #: rung -> smallest query size at which it blew the budget.
         self._budget_exceeded: Dict[str, int] = {}
         self._lock = threading.Lock()
+        #: cache key -> lock held by the thread currently planning that key
+        #: (singleflight).  Entries are created/removed under ``_lock``.
+        self._inflight: Dict[str, threading.Lock] = {}
+        #: Requests that waited behind another thread planning the same key
+        #: and were then served from the cache (service observability).
+        self.coalesced_plans = 0
 
     def _cache_key(self, signature: str) -> str:
         return f"{signature}|{self._policy_tag}"
@@ -352,17 +385,51 @@ class AdaptivePlanner:
         # entries for them (plan_many's dedup applies the same rule).
         cacheable = (self.cache is not None and not query.is_contracted
                      and not query.has_custom_leaf_plans)
-        if cacheable:
-            cached = self.cache.get(self._cache_key(signature))
+        if not cacheable:
+            return self._plan_uncached(query, profile, signature, cacheable)
+        key = self._cache_key(signature)
+        cached = self.cache.get(key)
+        if cached is not None:
+            return self._as_cache_hit(cached)
+        # Singleflight the miss: one thread plans the key, structurally
+        # identical concurrent requests wait here and get the cached
+        # outcome.  peek() is stat-free — the admission get() above already
+        # recorded this request's lookup as a miss.
+        flight = self._flight_lock(key)
+        with flight:
+            cached = self.cache.peek(key)
             if cached is not None:
-                return PlanningOutcome(
-                    result=cached.result,
-                    decision=dataclasses.replace(cached.decision,
-                                                 cache_hit=True,
-                                                 deduplicated=False,
-                                                 elapsed_seconds=0.0),
-                )
+                with self._lock:
+                    self.coalesced_plans += 1
+                return self._as_cache_hit(cached)
+            try:
+                return self._plan_uncached(query, profile, signature,
+                                           cacheable)
+            finally:
+                with self._lock:
+                    if self._inflight.get(key) is flight:
+                        del self._inflight[key]
 
+    def _flight_lock(self, key: str) -> threading.Lock:
+        with self._lock:
+            flight = self._inflight.get(key)
+            if flight is None:
+                flight = threading.Lock()
+                self._inflight[key] = flight
+            return flight
+
+    @staticmethod
+    def _as_cache_hit(cached: "PlanningOutcome") -> "PlanningOutcome":
+        return PlanningOutcome(
+            result=cached.result,
+            decision=dataclasses.replace(cached.decision,
+                                         cache_hit=True,
+                                         deduplicated=False,
+                                         elapsed_seconds=0.0),
+        )
+
+    def _plan_uncached(self, query: QueryInfo, profile: QueryProfile,
+                       signature: str, cacheable: bool) -> PlanningOutcome:
         ladder = self.ladder_for(profile)
         n = profile.n_relations
         skipped: List[str] = []
