@@ -1,0 +1,310 @@
+"""Runtime-regret benchmark: plan under q-error, execute on true data.
+
+Everywhere else in the suite plan quality is an estimated cost.  This
+benchmark closes the loop the ROADMAP calls "runtime ground truth": every
+rung of the planner ladder (exact MPDP, IDP2-MPDP, LinDP, GOO) plans each
+workload shape under a :class:`~repro.execution.perturb.PerturbedEstimator`
+with q-error bound q in {1, 2, 4, 16}, and the chosen plans are *executed*
+by the vectorized :class:`~repro.execution.engine.InMemoryExecutor` over a
+synthetic dataset generated from the **true** statistics.  Per (shape, rung,
+q) we record:
+
+* executed wall-clock runtime (best of ``REPEATS`` runs, against the same
+  materialized dataset);
+* the plan's ``C_out`` under the true cardinalities (deterministic plan
+  quality, immune to timer noise);
+* both as regret ratios over the unperturbed exact plan of the same shape.
+
+q = 1 is asserted **bit-identical** to unperturbed planning per rung: the
+wrapper must be a no-op, so plan structure and cost match exactly.  All
+rungs and q levels must also produce the *same executed result cardinality*
+per shape — different join orders cannot change the answer.
+
+An executor-speedup section runs the ISSUE acceptance workload — a
+10-relation chain at 100k rows per table after dataset scaling — on both the
+vectorized executor and the tuple-at-a-time
+:class:`~repro.execution.engine.ReferenceExecutor`, checks identical
+per-node row counts, and asserts the vectorized executor is >= 5x faster.
+
+Results go to ``BENCH_runtime.json`` at the repository root.
+
+Run standalone (writes the JSON; ``--quick`` shrinks datasets for CI):
+
+    PYTHONPATH=src python benchmarks/bench_runtime_regret.py [--quick]
+
+or through pytest (quick sweep plus assertions):
+
+    cd benchmarks && PYTHONPATH=../src python -m pytest bench_runtime_regret.py -q -s
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Callable, Dict, List, Tuple
+
+import pytest
+
+from repro.core.query import QueryInfo
+from repro.cost import CoutCostModel
+from repro.execution import (
+    InMemoryExecutor,
+    ReferenceExecutor,
+    SyntheticDataset,
+    perturbed_query,
+)
+from repro.planner import DEFAULT_REGISTRY
+from repro.workloads import (
+    chain_query,
+    clique_query,
+    cycle_query,
+    musicbrainz_query,
+    snowflake_query,
+    star_query,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+OUTPUT_PATH = REPO_ROOT / "BENCH_runtime.json"
+
+#: The robustness band: every shape the paper's synthetic suite evaluates,
+#: plus a MusicBrainz-style real-schema walk (Section 7.2.2).
+SHAPES: List[Tuple[str, Callable[[], QueryInfo]]] = [
+    ("chain", lambda: chain_query(10, seed=1)),
+    ("star", lambda: star_query(8, seed=1)),
+    ("snowflake", lambda: snowflake_query(10, seed=1)),
+    ("cycle", lambda: cycle_query(10, seed=1)),
+    ("clique", lambda: clique_query(7, seed=1)),
+    ("musicbrainz", lambda: musicbrainz_query(10, seed=1)),
+]
+
+#: The planner ladder, one representative per rung.  LinDP is pinned to its
+#: linearized path (exact_threshold=0) and IDP2 to k=4 so that both genuinely
+#: differ from exact MPDP at these sizes, exactly as the AdaptivePlanner
+#: configures its fallback rungs.
+RUNGS: List[Tuple[str, Callable[[], object]]] = [
+    ("exact", lambda: DEFAULT_REGISTRY.create("MPDP")),
+    ("IDP2", lambda: DEFAULT_REGISTRY.create("IDP2", k=4)),
+    ("LinDP", lambda: DEFAULT_REGISTRY.create("LinDP", exact_threshold=0)),
+    ("GOO", lambda: DEFAULT_REGISTRY.create("GOO")),
+]
+
+Q_LEVELS = (1.0, 2.0, 4.0, 16.0)
+PERTURB_SEED = 11
+
+#: Dataset scaling: true base cardinalities times SCALE, capped per table.
+#: 1e-4 keeps the snowflake shape's multiplicative PK-FK fan-out (tiny
+#: scaled parents with many-row children) below ~1e5-row intermediates so
+#: the 16-entry grid executes in milliseconds per plan.
+SCALE = 1e-4
+MAX_ROWS = 2_000
+MAX_ROWS_QUICK = 500
+DATASET_SEED = 0
+
+#: Executions per measured plan; best-of wins (timer-noise suppression).
+REPEATS = 3
+
+#: Acceptance workload: 10-relation chain, 100k rows per table after scaling
+#: (1e8 * 1e-3), vectorized must beat the reference oracle >= 5x.
+SPEEDUP_RELATIONS = 10
+SPEEDUP_BASE_ROWS = 1e8
+SPEEDUP_SCALE = 1e-3
+SPEEDUP_FLOOR = 5.0
+
+
+def _cout_recost(query: QueryInfo) -> QueryInfo:
+    """The same query under the C_out model (plan-quality recosting)."""
+    return QueryInfo(query.graph, query.cardinality.base_cardinalities,
+                     CoutCostModel(), name=f"{query.name}#cout")
+
+
+def _best_runtime(executor: InMemoryExecutor, plan, repeats: int = REPEATS):
+    """(best wall seconds, result) over ``repeats`` executions of ``plan``."""
+    best = None
+    result = None
+    for _ in range(repeats):
+        outcome = executor.execute(plan)
+        if best is None or outcome.wall_time_seconds < best:
+            best = outcome.wall_time_seconds
+            result = outcome
+    return best, result
+
+
+def _shape_sweep(shape: str, query: QueryInfo,
+                 max_rows: int) -> Dict[str, object]:
+    """The full rung x q grid of one workload shape."""
+    dataset = SyntheticDataset(query, scale=SCALE, max_rows=max_rows,
+                               seed=DATASET_SEED)
+    executor = InMemoryExecutor(dataset)
+    cout_query = _cout_recost(query)
+
+    # Ground truth: the exact plan under exact statistics.
+    baseline_plan = RUNGS[0][1]().optimize(query).plan
+    baseline_seconds, baseline_result = _best_runtime(executor, baseline_plan)
+    baseline_cout = cout_query.plan_cost(baseline_plan)
+
+    entries: List[Dict[str, object]] = []
+    for rung, make_optimizer in RUNGS:
+        unperturbed_plan = make_optimizer().optimize(query).plan
+        for q in Q_LEVELS:
+            planned = perturbed_query(query, q=q, seed=PERTURB_SEED)
+            plan = make_optimizer().optimize(planned).plan
+            seconds, result = _best_runtime(executor, plan)
+            cout = cout_query.plan_cost(plan)
+            entry = {
+                "rung": rung,
+                "q": q,
+                "runtime_seconds": seconds,
+                "runtime_regret": seconds / baseline_seconds,
+                "cout": cout,
+                "cout_regret": cout / baseline_cout,
+                "result_rows": result.rows,
+            }
+            if q == 1.0:
+                entry["identical_to_unperturbed"] = (
+                    plan.structure() == unperturbed_plan.structure()
+                    and plan.cost == unperturbed_plan.cost)
+            entries.append(entry)
+    return {
+        "shape": shape,
+        "query": query.name,
+        "n_relations": query.n_relations,
+        "dataset_rows": dataset.table_rows,
+        "baseline": {
+            "rung": RUNGS[0][0],
+            "runtime_seconds": baseline_seconds,
+            "cout": baseline_cout,
+            "result_rows": baseline_result.rows,
+        },
+        "grid": entries,
+    }
+
+
+def _executor_speedup() -> Dict[str, object]:
+    """Vectorized vs reference executor on the acceptance workload."""
+    query = chain_query(SPEEDUP_RELATIONS, rows=SPEEDUP_BASE_ROWS,
+                        name="chain_10_100k")
+    dataset = SyntheticDataset(query, scale=SPEEDUP_SCALE, max_rows=200_000,
+                               seed=DATASET_SEED)
+    plan = RUNGS[0][1]().optimize(query).plan
+
+    vectorized = InMemoryExecutor(dataset)
+    reference = ReferenceExecutor(dataset)
+    start = time.perf_counter()
+    vec_result = vectorized.execute(plan)
+    vec_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    ref_result = reference.execute(plan)
+    ref_seconds = time.perf_counter() - start
+    return {
+        "workload": query.name,
+        "rows_per_table": dataset.table_rows,
+        "result_rows": vec_result.rows,
+        "node_rows_match": vec_result.node_rows() == ref_result.node_rows(),
+        "vectorized_seconds": vec_seconds,
+        "reference_seconds": ref_seconds,
+        "speedup": ref_seconds / vec_seconds,
+    }
+
+
+def run_benchmark(max_rows: int = MAX_ROWS) -> Dict[str, object]:
+    shapes = []
+    for shape, make_query in SHAPES:
+        start = time.perf_counter()
+        shapes.append(_shape_sweep(shape, make_query(), max_rows))
+        print(f"  [sweep] {shape}: {time.perf_counter() - start:.1f} s",
+              flush=True)
+    return {
+        "benchmark": "runtime_regret",
+        "description": (
+            "plans chosen under injected q-error (PerturbedEstimator, "
+            f"seed={PERTURB_SEED}) executed by the vectorized in-memory "
+            "executor over datasets generated from the true statistics; "
+            "regret ratios are runtime and C_out over the unperturbed "
+            "exact plan; q=1 is asserted bit-identical to unperturbed "
+            "planning per rung"),
+        "q_levels": list(Q_LEVELS),
+        "rungs": [rung for rung, _ in RUNGS],
+        "dataset": {"scale": SCALE, "max_rows": max_rows,
+                    "seed": DATASET_SEED, "repeats": REPEATS},
+        "shapes": shapes,
+        "executor_speedup": _executor_speedup(),
+    }
+
+
+def write_results(results: Dict[str, object]) -> None:
+    OUTPUT_PATH.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
+
+
+def _print_summary(results: Dict[str, object]) -> None:
+    print(f"\nruntime regret (q in {results['q_levels']}, "
+          f"best of {results['dataset']['repeats']} executions):")
+    for shape in results["shapes"]:
+        print(f"  {shape['shape']:<12} ({shape['n_relations']} relations, "
+              f"{shape['baseline']['result_rows']} result rows, exact plan "
+              f"{shape['baseline']['runtime_seconds'] * 1e3:.2f} ms):")
+        for entry in shape["grid"]:
+            tag = ""
+            if entry.get("identical_to_unperturbed") is False:
+                tag = "  [q=1 MISMATCH]"
+            print(f"    {entry['rung']:<6} q={entry['q']:<4g} "
+                  f"runtime x{entry['runtime_regret']:<8.2f} "
+                  f"C_out x{entry['cout_regret']:<10.3f}{tag}")
+    speedup = results["executor_speedup"]
+    print(f"  executor speedup ({speedup['workload']}, "
+          f"{speedup['rows_per_table'][0]} rows/table): "
+          f"vectorized {speedup['vectorized_seconds'] * 1e3:.1f} ms vs "
+          f"reference {speedup['reference_seconds'] * 1e3:.1f} ms = "
+          f"{speedup['speedup']:.1f}x")
+
+
+def _assert_acceptance(results: Dict[str, object]) -> None:
+    assert len(results["shapes"]) >= 5
+    for shape in results["shapes"]:
+        grid = shape["grid"]
+        assert len(grid) == len(RUNGS) * len(Q_LEVELS), shape["shape"]
+        # Join order can change runtime, never the answer.
+        rows = {entry["result_rows"] for entry in grid}
+        rows.add(shape["baseline"]["result_rows"])
+        assert len(rows) == 1, (
+            f"{shape['shape']}: executed result cardinality varied across "
+            f"rungs/q levels: {sorted(rows)}")
+        for entry in grid:
+            if entry["q"] == 1.0:
+                # The q=1 wrapper is a bit-identical no-op per rung.
+                assert entry["identical_to_unperturbed"], (
+                    f"{shape['shape']}/{entry['rung']}: q=1 plan diverged "
+                    "from unperturbed planning")
+            assert entry["runtime_regret"] > 0
+            assert entry["cout_regret"] > 0
+        # The exact rung at q=1 *is* the baseline plan.
+        exact_q1 = next(entry for entry in grid
+                        if entry["rung"] == "exact" and entry["q"] == 1.0)
+        assert exact_q1["cout_regret"] == 1.0
+    speedup = results["executor_speedup"]
+    assert speedup["node_rows_match"], (
+        "vectorized and reference executors disagreed on per-node row counts")
+    assert speedup["speedup"] >= SPEEDUP_FLOOR, (
+        f"vectorized executor only {speedup['speedup']:.1f}x faster than the "
+        f"reference oracle (floor {SPEEDUP_FLOOR}x)")
+
+
+@pytest.mark.perf_smoke
+@pytest.mark.runtime
+def test_runtime_regret_guard():
+    """Quick sweep: q=1 bit-identity, row-count identity, >= 5x executor."""
+    results = run_benchmark(max_rows=MAX_ROWS_QUICK)
+    _print_summary(results)
+    _assert_acceptance(results)
+
+
+if __name__ == "__main__":
+    quick = "--quick" in sys.argv[1:]
+    bench_results = run_benchmark(
+        max_rows=MAX_ROWS_QUICK if quick else MAX_ROWS)
+    _print_summary(bench_results)
+    _assert_acceptance(bench_results)
+    if not quick:
+        write_results(bench_results)
+        print(f"\nwrote {OUTPUT_PATH}")

@@ -58,3 +58,10 @@ def pytest_configure(config):
         "benchmarks/bench_service_throughput.py and "
         "tests/test_planner_service.py; select with -m service)",
     )
+    config.addinivalue_line(
+        "markers",
+        "runtime: executes plans on synthetic data to measure runtime "
+        "regret under q-error misestimation "
+        "(benchmarks/bench_runtime_regret.py; the CI perf-smoke job runs "
+        "the --quick band; select with -m runtime)",
+    )

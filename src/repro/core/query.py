@@ -25,7 +25,7 @@ from . import bitmapset as bms
 from .joingraph import JoinGraph
 from .plan import Plan
 from ..cost.base import CostModel
-from ..cost.cardinality import CardinalityEstimator
+from ..cost.cardinality import CardinalityEstimator, estimator_overrides_rows
 from ..cost.postgres import PostgresCostModel
 
 __all__ = ["QueryInfo"]
@@ -148,6 +148,37 @@ class QueryInfo:
             self._rows_cache[vertex_mask] = cached
         return cached
 
+    def with_estimator(self, estimator: CardinalityEstimator,
+                       name: Optional[str] = None) -> "QueryInfo":
+        """A copy of this query planning under a different estimator.
+
+        The copy shares the join graph and cost model objects; leaf plans are
+        rebuilt from the new estimator's base cardinalities.  This is the
+        injection point for estimation-robustness studies (e.g.
+        :class:`~repro.execution.perturb.PerturbedEstimator`): the planning
+        problem is identical except for what the optimizer *believes* about
+        intermediate sizes.
+
+        Only root queries without custom leaf plans can be re-estimated —
+        contracted queries' vertex cardinalities were derived from the old
+        estimator and would silently disagree with the new one.
+        """
+        if self.is_contracted or self.has_custom_leaf_plans:
+            raise ValueError(
+                "with_estimator() requires a root query without custom leaf "
+                "plans; re-derive the contraction from the re-estimated root "
+                "query instead")
+        if estimator.graph is not self.graph:
+            raise ValueError(
+                "the replacement estimator must be built over this query's "
+                "join graph object")
+        return QueryInfo(
+            graph=self.graph,
+            cost_model=self.cost_model,
+            name=name if name is not None else self.name,
+            cardinality=estimator,
+        )
+
     def rows_batch(self, vertex_masks, spec=None):
         """Batched :meth:`rows` over a batch of vertex bitmaps (float64).
 
@@ -188,6 +219,13 @@ class QueryInfo:
             mask_list = [int(mask) for mask in vertex_masks]
             packed = wb.pack(mask_list, wb.words_for(self.graph.n_relations))
             remapped = False
+        if estimator_overrides_rows(self.root.cardinality):
+            # A custom estimator (e.g. a q-error PerturbedEstimator) must
+            # observe every mask through rows(); the log-space fold below
+            # reconstructs estimates from base cardinalities and would
+            # silently bypass the override.
+            return np.array([self.rows(mask) for mask in mask_list],
+                            dtype=np.float64)
         if remapped:
             values, selectors = self._fold_steps_for_spec(spec)
         else:

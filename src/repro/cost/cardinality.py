@@ -23,7 +23,23 @@ from typing import Dict, Optional, Sequence
 from ..core import bitmapset as bms
 from ..core.joingraph import JoinGraph
 
-__all__ = ["CardinalityEstimator"]
+__all__ = ["CardinalityEstimator", "estimator_overrides_rows"]
+
+
+def estimator_overrides_rows(estimator: "CardinalityEstimator") -> bool:
+    """True when a subclass replaced :meth:`CardinalityEstimator.rows`.
+
+    The vectorized fold paths (:meth:`CardinalityEstimator.rows_batch` with a
+    remap spec, :meth:`repro.core.query.QueryInfo.rows_batch` on contracted
+    queries, :func:`repro.exec.heuristic_kernels.lindp_merge`'s interval fold)
+    reconstruct estimates directly from base cardinalities and edge
+    selectivities — bit-identical to the *base* scalar path, but blind to any
+    subclass override such as :class:`repro.execution.perturb.PerturbedEstimator`.
+    Every fold entry point consults this predicate and falls back to per-mask
+    ``rows()`` calls for overriding estimators, so custom estimation is never
+    silently bypassed by a kernel backend.
+    """
+    return type(estimator).rows is not CardinalityEstimator.rows
 
 
 class CardinalityEstimator:
@@ -163,7 +179,7 @@ class CardinalityEstimator:
         _, first_index, inverse = np.unique(keys, return_index=True,
                                             return_inverse=True)
         if (spec is not None and not isinstance(spec, int)
-                and len(first_index)):
+                and len(first_index) and not estimator_overrides_rows(self)):
             estimates = self._rows_fold(packed[first_index], spec)
         else:
             estimates = np.array(

@@ -43,6 +43,7 @@ from ..core.counters import OptimizerStats
 from ..core.plan import Plan
 from ..core.query import QueryInfo
 from ..core.unionfind import UnionFind
+from ..cost.cardinality import estimator_overrides_rows
 
 __all__ = [
     "heuristic_kernels_supported",
@@ -159,7 +160,18 @@ def lindp_merge(query: QueryInfo, order: Sequence[int],
         fold_steps.append((math.log10(edge.selectivity),
                            left_position, right_position))
 
+    fold_ok = not estimator_overrides_rows(estimator)
+
     def interval_rows(length: int, m: int) -> "np.ndarray":
+        if not fold_ok:
+            # A custom estimator (e.g. a q-error PerturbedEstimator) must
+            # observe every interval through rows(); the slice fold below
+            # reconstructs estimates from base statistics and would bypass
+            # the override.
+            return np.array(
+                [query.rows(interval_mask[start][start + length - 1])
+                 for start in range(m)],
+                dtype=np.float64)
         acc = np.zeros(m, dtype=np.float64)
         for value, near, far in fold_steps:
             low = far - length + 1

@@ -1,15 +1,23 @@
-"""Query execution substrates: cost-based runtime model and in-memory executor."""
+"""Query execution: runtime ground truth, oracle executor, q-error injection."""
 
 from .engine import (
     CostBasedRuntimeModel,
     ExecutionResult,
+    ExecutionStats,
     InMemoryExecutor,
+    ReferenceExecutor,
     SyntheticDataset,
 )
+from .perturb import PerturbedEstimator, perturbed_query, q_error
 
 __all__ = [
     "CostBasedRuntimeModel",
     "ExecutionResult",
+    "ExecutionStats",
     "InMemoryExecutor",
+    "ReferenceExecutor",
     "SyntheticDataset",
+    "PerturbedEstimator",
+    "perturbed_query",
+    "q_error",
 ]

@@ -63,6 +63,7 @@ from ..core.counters import OptimizerStats
 from ..core.plan import Plan
 from ..core.query import QueryInfo
 from ..core.shapes import SHAPE_DISCONNECTED
+from ..cost.cardinality import CardinalityEstimator
 from ..exec import BACKEND_NAMES, validate_workers
 from ..optimizers.base import JoinOrderOptimizer, OptimizationError, PlanResult
 from .cache import PlanCache
@@ -186,6 +187,19 @@ class AdaptivePlanner:
             knob only moves optimization time.
         workers: worker-process count for the multicore backend (``None``
             = one per usable CPU).  Must be a positive integer.
+        estimator_wrapper: optional callable mapping a query's
+            :class:`~repro.cost.cardinality.CardinalityEstimator` to a
+            replacement (e.g. ``lambda est:``
+            :class:`~repro.execution.perturb.PerturbedEstimator`
+            ``(est, q=4)``), applied to every query before classification.
+            This is how robustness suites plan the whole ladder under
+            injected q-error without touching workload definitions.  Plan
+            caching stays safe automatically: the wrapped estimator's
+            ``cache_key()`` is part of the structural signature, so
+            perturbed and exact plans never share cache entries.  Returning
+            the estimator unchanged leaves the query object untouched.
+            Incompatible with contracted queries and queries carrying
+            custom leaf plans (``QueryInfo.with_estimator`` rejects them).
         clock: monotonic time source for budget enforcement (defaults to
             :func:`time.perf_counter`; injectable for deterministic tests).
             Budget accounting is strictly *per tier*: a rung that overruns
@@ -208,6 +222,8 @@ class AdaptivePlanner:
         idp_k: int = 10,
         backend: str = "auto",
         workers: Optional[int] = None,
+        estimator_wrapper: Optional[
+            Callable[["CardinalityEstimator"], "CardinalityEstimator"]] = None,
         clock: Optional[Callable[[], float]] = None,
     ):
         if not (2 <= exact_threshold <= tree_threshold <= idp_threshold <= lindp_threshold):
@@ -236,8 +252,12 @@ class AdaptivePlanner:
         self.idp_threshold = idp_threshold
         self.lindp_threshold = lindp_threshold
         self.idp_k = idp_k
+        if estimator_wrapper is not None and not callable(estimator_wrapper):
+            raise ValueError("estimator_wrapper must be callable (estimator -> "
+                             "estimator) or None")
         self.backend = backend
         self.workers = workers
+        self.estimator_wrapper = estimator_wrapper
         self._clock = clock if clock is not None else time.perf_counter
         #: Folded into every cache key: two planners may share a PlanCache,
         #: and entries must never cross routing policies (a heuristic-leaning
@@ -318,8 +338,18 @@ class AdaptivePlanner:
     # ------------------------------------------------------------------ #
     # Planning
     # ------------------------------------------------------------------ #
+    def _wrap_query(self, query: QueryInfo) -> QueryInfo:
+        """Apply the planner's ``estimator_wrapper`` (no-op when unset)."""
+        if self.estimator_wrapper is None:
+            return query
+        estimator = self.estimator_wrapper(query.cardinality)
+        if estimator is query.cardinality:
+            return query
+        return query.with_estimator(estimator)
+
     def plan(self, query: QueryInfo) -> PlanningOutcome:
         """Plan one query through classification, routing, budget and cache."""
+        query = self._wrap_query(query)
         profile = self.classifier.classify(query)
         signature = structural_signature(query, shape=profile.shape)
         return self._plan(query, profile, signature)
@@ -346,6 +376,7 @@ class AdaptivePlanner:
         seen: Dict[str, PlanningOutcome] = {}
         for query in queries:
             try:
+                query = self._wrap_query(query)
                 profile = self.classifier.classify(query)
                 signature = structural_signature(query, shape=profile.shape)
                 shareable = not query.is_contracted and not query.has_custom_leaf_plans

@@ -47,26 +47,29 @@ class PlannedSQL:
 
 def _resolve_planner(planner: Optional[AdaptivePlanner],
                      backend: Optional[str],
-                     workers: Optional[int] = None) -> AdaptivePlanner:
+                     workers: Optional[int] = None,
+                     estimator_wrapper=None) -> AdaptivePlanner:
     """The planner a front-door call will use.
 
-    ``backend`` and ``workers`` configure a *fresh* planner's kernel
-    execution backend; an explicit ``planner`` already carries its own
-    backend policy, so passing both is rejected rather than silently
-    ignoring one.
+    ``backend``, ``workers`` and ``estimator_wrapper`` configure a *fresh*
+    planner; an explicit ``planner`` already carries its own policy, so
+    passing both is rejected rather than silently ignoring one.
     """
     if planner is not None:
-        if backend is not None or workers is not None:
+        if backend is not None or workers is not None \
+                or estimator_wrapper is not None:
             raise ValueError(
-                "pass backend=/workers= only when the front door creates the "
-                "planner; an explicit planner already carries its backend "
-                "policy")
+                "pass backend=/workers=/estimator_wrapper= only when the "
+                "front door creates the planner; an explicit planner already "
+                "carries its own policy")
         return planner
     kwargs = {}
     if backend is not None:
         kwargs["backend"] = backend
     if workers is not None:
         kwargs["workers"] = workers
+    if estimator_wrapper is not None:
+        kwargs["estimator_wrapper"] = estimator_wrapper
     return AdaptivePlanner(**kwargs)
 
 
@@ -75,7 +78,8 @@ def plan_sql(sql: str, catalog: Catalog,
              cost_model: Optional[CostModel] = None,
              name: Optional[str] = None,
              backend: Optional[str] = None,
-             workers: Optional[int] = None) -> PlannedSQL:
+             workers: Optional[int] = None,
+             estimator_wrapper=None) -> PlannedSQL:
     """Parse ``sql`` against ``catalog`` and plan it through the planner.
 
     A fresh :class:`AdaptivePlanner` is created when none is given, but
@@ -83,11 +87,13 @@ def plan_sql(sql: str, catalog: Catalog,
     so its plan cache and budget memory carry across calls.  ``backend``
     selects the kernel execution backend
     (``scalar``/``vectorized``/``multicore``/``auto``) of that fresh
-    planner and ``workers`` its multicore worker count; neither can be
-    combined with an explicit ``planner``, which already carries its own
-    backend policy.
+    planner, ``workers`` its multicore worker count, and
+    ``estimator_wrapper`` its cardinality-estimator wrapper (e.g. q-error
+    injection via :class:`~repro.execution.perturb.PerturbedEstimator`);
+    none of the three can be combined with an explicit ``planner``, which
+    already carries its own policy.
     """
-    planner = _resolve_planner(planner, backend, workers)
+    planner = _resolve_planner(planner, backend, workers, estimator_wrapper)
     parsed = parse_join_query(sql, catalog, cost_model=cost_model, name=name)
     return PlannedSQL(parsed=parsed, outcome=planner.plan(parsed.query))
 
@@ -96,12 +102,14 @@ def plan_sql_many(statements: Sequence[str], catalog: Catalog,
                   planner: Optional[AdaptivePlanner] = None,
                   cost_model: Optional[CostModel] = None,
                   backend: Optional[str] = None,
-                  workers: Optional[int] = None) -> List[PlannedSQL]:
+                  workers: Optional[int] = None,
+                  estimator_wrapper=None) -> List[PlannedSQL]:
     """Parse and plan a batch of statements with structural deduplication.
 
-    ``backend`` and ``workers`` follow the same rule as :func:`plan_sql`.
+    ``backend``, ``workers`` and ``estimator_wrapper`` follow the same rule
+    as :func:`plan_sql`.
     """
-    planner = _resolve_planner(planner, backend, workers)
+    planner = _resolve_planner(planner, backend, workers, estimator_wrapper)
     parsed = [parse_join_query(sql, catalog, cost_model=cost_model)
               for sql in statements]
     outcomes = planner.plan_many([entry.query for entry in parsed])

@@ -145,13 +145,24 @@ def chain_query(
     seed: Optional[int] = None,
     cost_model: Optional[CostModel] = None,
     name: Optional[str] = None,
+    rows: Optional[float] = None,
 ) -> QueryInfo:
-    """A chain query: relation ``i`` joins relation ``i+1``."""
+    """A chain query: relation ``i`` joins relation ``i+1``.
+
+    ``rows`` pins every base cardinality to one fixed value instead of the
+    seeded log-uniform draw — the execution benchmarks use this to build
+    equal-width chains (e.g. 100k rows per table after dataset scaling)
+    whose intermediate results stay flat along the chain.
+    """
     if n_relations < 2:
         raise ValueError("a chain query needs at least two relations")
+    if rows is not None and rows < 1:
+        raise ValueError("rows must be >= 1")
     rng = _rng(seed)
     graph = JoinGraph(n_relations)
-    base_rows = [_dimension_rows(rng, 1e4, 1e7) for _ in range(n_relations)]
+    base_rows = [float(rows) if rows is not None
+                 else _dimension_rows(rng, 1e4, 1e7)
+                 for _ in range(n_relations)]
     for i in range(n_relations - 1):
         selectivity = 1.0 / max(min(base_rows[i], base_rows[i + 1]), 1.0)
         graph.add_edge(i, i + 1, selectivity=selectivity, is_pk_fk=True)
@@ -164,12 +175,16 @@ def cycle_query(
     seed: Optional[int] = None,
     cost_model: Optional[CostModel] = None,
     name: Optional[str] = None,
+    rows: Optional[float] = None,
 ) -> QueryInfo:
-    """A cycle query: a chain whose last relation also joins the first."""
+    """A cycle query: a chain whose last relation also joins the first.
+
+    ``rows`` pins every base cardinality, as in :func:`chain_query`.
+    """
     if n_relations < 3:
         raise ValueError("a cycle query needs at least three relations")
     query = chain_query(n_relations, seed=seed, cost_model=cost_model,
-                        name=name or f"cycle_{n_relations}")
+                        name=name or f"cycle_{n_relations}", rows=rows)
     rows = query.cardinality.base_cardinalities
     selectivity = 1.0 / max(min(rows[0], rows[-1]), 1.0)
     query.graph.add_edge(0, n_relations - 1, selectivity=selectivity)

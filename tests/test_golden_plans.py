@@ -111,9 +111,93 @@ def test_golden_plan(workload, update_golden):
         "--update-golden and review the diff")
 
 
+# --------------------------------------------------------------------- #
+# Golden *execution* snapshots: pinned runtime row counts
+# --------------------------------------------------------------------- #
+#: The figure workloads small enough to execute (the wide_* graphs would
+#: need thousands of joined tables); datasets are scaled to stay fast.
+EXEC_WORKLOADS = (
+    "fig04_star_n10_seed1",
+    "fig06_star_n10_seed0",
+    "fig07_snowflake_n12_seed0",
+    "fig08_clique_n9_seed0",
+    "fig09_musicbrainz_n13_seed0",
+)
+
+#: Tables are pinned to one equal width (``min_rows == max_rows``): with
+#: mixed widths a tiny scaled primary-key table under a large foreign-key
+#: table fans probes out multiplicatively, and the fig07 snowflake then
+#: materializes a ~7e7-row result (a minute of runtime in a tier-1 test).
+#: Equal widths keep PK-FK joins flat at the table width; EXEC_SCALE
+#: still sizes the shared domains of non-PK-FK edges.  The clique's width
+#: is smaller because every pair is a weak edge.
+EXEC_SCALE = 1e-4
+EXEC_ROWS = 200
+EXEC_CLIQUE_ROWS = 25
+EXEC_DATASET_SEED = 0
+
+
+def exec_snapshot_of(workload: str) -> dict:
+    """Pinned row counts from actually running the workload's optimal plan.
+
+    The plan-shape snapshot above pins what the optimizer *says*; this pins
+    what the executor *does* — the final result cardinality and every
+    join node's output rows on the deterministic synthetic dataset.  A
+    drift here without a plan drift means the execution engine (or the
+    dataset generator) changed behaviour.
+    """
+    from repro.execution import InMemoryExecutor, SyntheticDataset
+
+    query = WORKLOAD_FACTORIES[workload]()
+    plan = MPDP(backend="scalar").optimize(query).plan
+    rows = EXEC_CLIQUE_ROWS if "clique" in workload else EXEC_ROWS
+    dataset = SyntheticDataset(query, scale=EXEC_SCALE, max_rows=rows,
+                               min_rows=rows, seed=EXEC_DATASET_SEED)
+    result = InMemoryExecutor(dataset).execute(plan)
+    join_rows = {
+        format(node.relations, "b"): node.rows
+        for node in result.stats.iter_nodes()
+        if node.children
+    }
+    return {
+        "workload": workload,
+        "scale": EXEC_SCALE,
+        "rows_per_table": rows,
+        "dataset_seed": EXEC_DATASET_SEED,
+        "table_rows": [len(next(iter(dataset.columns[rel].values())))
+                       for rel in range(query.n_relations)],
+        "result_rows": result.rows,
+        "join_rows": join_rows,
+    }
+
+
+def exec_golden_path(workload: str) -> Path:
+    return GOLDEN_DIR / f"exec_{workload}.json"
+
+
+@pytest.mark.parametrize("workload", EXEC_WORKLOADS)
+def test_golden_execution(workload, update_golden):
+    snapshot = exec_snapshot_of(workload)
+    path = exec_golden_path(workload)
+    if update_golden:
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        path.write_text(json.dumps(snapshot, indent=2) + "\n")
+        return
+    assert path.exists(), (
+        f"missing golden file {path}; generate it with "
+        "pytest tests/test_golden_plans.py --update-golden")
+    pinned = json.loads(path.read_text())
+    assert snapshot == pinned, (
+        f"{workload}: executed row counts diverge from the pinned golden "
+        f"execution snapshot; if the change is intentional, regenerate "
+        "with --update-golden and review the diff")
+
+
 def test_no_stale_golden_files():
     """Every committed golden file corresponds to a current workload."""
     if not GOLDEN_DIR.exists():
         pytest.skip("golden directory not generated yet")
-    stale = {p.stem for p in GOLDEN_DIR.glob("*.json")} - set(WORKLOAD_FACTORIES)
+    expected = set(WORKLOAD_FACTORIES) | {
+        f"exec_{workload}" for workload in EXEC_WORKLOADS}
+    stale = {p.stem for p in GOLDEN_DIR.glob("*.json")} - expected
     assert not stale, f"golden files without a workload: {sorted(stale)}"
