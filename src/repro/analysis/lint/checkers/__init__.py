@@ -1,0 +1,27 @@
+"""Built-in rule battery.  Importing this package registers every checker."""
+
+from . import capabilities, estimator, exceptions, kernels, knobs, locks
+from .capabilities import CapabilityConsistencyChecker, check_registry
+from .estimator import EstimatorGuardChecker
+from .exceptions import BroadExceptChecker
+from .kernels import KernelClockChecker, KernelLoopChecker, KernelRandomChecker
+from .knobs import KnobThreadingChecker
+from .locks import LockDisciplineChecker
+
+__all__ = [
+    "BroadExceptChecker",
+    "CapabilityConsistencyChecker",
+    "EstimatorGuardChecker",
+    "KernelClockChecker",
+    "KernelLoopChecker",
+    "KernelRandomChecker",
+    "KnobThreadingChecker",
+    "LockDisciplineChecker",
+    "check_registry",
+    "capabilities",
+    "estimator",
+    "exceptions",
+    "kernels",
+    "knobs",
+    "locks",
+]

@@ -1,0 +1,97 @@
+"""``capability-consistency``: registry metadata must match ``describe()``.
+
+The optimizer registry (``repro.planner.registry``) couples every factory
+with an :class:`~repro.optimizers.base.OptimizerCapabilities` record that
+the adaptive planner's routing policy trusts blindly — a registration whose
+``backends`` drifts from what the class actually accepts sends queries to a
+backend the optimizer will reject (or silently never uses a backend it
+supports).  This rule cross-checks, for every entry of a registry:
+
+* ``entry.capabilities.backends`` equals the ``backends`` the probe
+  instance reports through ``describe()``,
+* every declared backend is actually *constructible*: when the factory
+  accepts a ``backend`` parameter, ``entry.create(backend=<name>)`` must
+  not raise.
+
+Unlike the AST rules this requires importing the package, so it runs as a
+:class:`~repro.analysis.lint.framework.ProjectChecker` — once per lint
+invocation against ``DEFAULT_REGISTRY`` (tests pass their own registries to
+:func:`check_registry`).  Findings anchor to the factory's source file when
+it can be resolved.
+"""
+
+from __future__ import annotations
+
+import inspect
+from typing import Iterable, List, Optional, Tuple
+
+from ..framework import Finding, ProjectChecker, register
+
+__all__ = ["CapabilityConsistencyChecker", "check_registry"]
+
+RULE = "capability-consistency"
+
+
+def _location(factory: object) -> Tuple[str, int]:
+    try:
+        path = inspect.getsourcefile(factory)  # type: ignore[arg-type]
+        _, line = inspect.getsourcelines(factory)  # type: ignore[arg-type]
+    except (TypeError, OSError):
+        return "<registry>", 1
+    return path or "<registry>", line
+
+
+def check_registry(registry: Optional[object] = None) -> List[Finding]:
+    """Findings for every inconsistent entry of ``registry``.
+
+    ``registry`` defaults to ``repro.planner.registry.DEFAULT_REGISTRY``
+    (imported lazily so pure-AST lint runs never import the planner).
+    """
+    if registry is None:
+        from ....planner.registry import DEFAULT_REGISTRY
+        registry = DEFAULT_REGISTRY
+    findings: List[Finding] = []
+    for entry in registry:  # type: ignore[attr-defined]
+        path, line = _location(entry.factory)
+        try:
+            described = entry.factory().describe()
+        except Exception as error:
+            findings.append(Finding(
+                RULE, path, line,
+                f"{entry.key}: probe construction/describe() failed: "
+                f"{type(error).__name__}: {error}"))
+            continue
+        declared = frozenset(entry.capabilities.backends)
+        actual = frozenset(described.backends)
+        if declared != actual:
+            findings.append(Finding(
+                RULE, path, line,
+                f"{entry.key}: registered backends {sorted(declared)} != "
+                f"describe() backends {sorted(actual)} — registry metadata "
+                f"drifted from the class"))
+        try:
+            signature = inspect.signature(entry.factory)
+        except (TypeError, ValueError):  # pragma: no cover - builtins only
+            continue
+        if "backend" not in signature.parameters:
+            continue
+        for backend_name in sorted(declared):
+            try:
+                entry.create(backend=backend_name)
+            except Exception as error:
+                findings.append(Finding(
+                    RULE, path, line,
+                    f"{entry.key}: declares backend {backend_name!r} but "
+                    f"construction rejected it: {type(error).__name__}: "
+                    f"{error}"))
+    return findings
+
+
+@register
+class CapabilityConsistencyChecker(ProjectChecker):
+    name = RULE
+    description = ("registered OptimizerCapabilities.backends must match "
+                   "describe() and every declared backend must construct")
+
+    def check_project(self) -> Iterable[Finding]:
+        return check_registry()

@@ -1,0 +1,67 @@
+"""``broad-except``: no silently-swallowed broad exception handlers.
+
+A bare ``except:`` / ``except Exception:`` / ``except BaseException:``
+whose body is nothing but ``pass`` / ``continue`` / ``...`` hides every
+failure mode behind it — the ``exec/multicore.py`` resource-tracker patch
+once swallowed *any* import-time error this way, masking real breakage on
+newer Pythons.  Broad handlers that do something with the failure (log it,
+count it, wrap-and-reraise it, report it to the parent process) are fine;
+it is the silent swallow that is banned.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from ..framework import Checker, Finding, ModuleInfo, register
+
+__all__ = ["BroadExceptChecker"]
+
+_BROAD = frozenset({"Exception", "BaseException"})
+
+
+def _is_broad(handler: ast.ExceptHandler) -> bool:
+    kind = handler.type
+    if kind is None:
+        return True
+    if isinstance(kind, ast.Name):
+        return kind.id in _BROAD
+    if isinstance(kind, ast.Attribute):
+        return kind.attr in _BROAD
+    if isinstance(kind, ast.Tuple):
+        return any(_is_broad(ast.ExceptHandler(type=element, name=None,
+                                               body=[]))
+                   for element in kind.elts)
+    return False
+
+
+def _is_silent(handler: ast.ExceptHandler) -> bool:
+    for statement in handler.body:
+        if isinstance(statement, (ast.Pass, ast.Continue)):
+            continue
+        if (isinstance(statement, ast.Expr)
+                and isinstance(statement.value, ast.Constant)):
+            continue  # docstring / bare ellipsis
+        return False
+    return True
+
+
+@register
+class BroadExceptChecker(Checker):
+    name = "broad-except"
+    description = ("broad exception handlers (bare / Exception / "
+                   "BaseException) must not silently swallow — log, count "
+                   "or re-raise")
+
+    def check(self, module: ModuleInfo) -> Iterable[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if _is_broad(node) and _is_silent(node):
+                caught = ("bare except" if node.type is None
+                          else f"except {ast.unparse(node.type)}")
+                yield Finding(
+                    self.name, module.path, node.lineno,
+                    f"{caught} silently swallows every failure — catch the "
+                    f"specific expected exceptions and log/count the rest")

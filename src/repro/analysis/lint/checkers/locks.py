@@ -1,0 +1,177 @@
+"""``guarded-by``: lock discipline for annotated shared attributes.
+
+The concurrent planner layer (PR 8) relies on attributes that are only ever
+mutated under a specific lock — the stripe counters of ``planner/cache.py``,
+the singleflight tables of ``planner/service.py``, the service stats of
+``planner/server.py``, the pool registry of ``exec/multicore.py``.  Those
+contracts were prose ("callers must hold …") until now; this rule makes them
+checkable:
+
+* an attribute is *declared* guarded by a trailing marker on its
+  ``__init__`` assignment::
+
+      self.entries = OrderedDict()  # guarded-by: lock
+
+  meaning "``<obj>.entries`` may only be mutated while ``<obj>.lock`` is
+  held",
+* every *mutation* of a same-named attribute in the module — assignment,
+  augmented assignment, ``del``, subscript stores, and calls of mutating
+  container methods (``append``, ``update``, ``move_to_end`` …) — must then
+  be lexically inside ``with <same base>.<lock>``,
+* helpers that run with the lock already held by their caller opt out with
+  a ``# lock-held: <lock>`` marker on their ``def`` line (the documented
+  calling convention of ``_Stripe``'s internals),
+* initialisation in ``__init__``/``__new__`` with base ``self`` is exempt —
+  the object is not yet published to other threads.
+
+Matching is by attribute *name* within one module plus the textual base
+expression (``stripe.hits`` needs ``with stripe.lock``, ``self.hits`` needs
+``with self.lock``), which is exactly the granularity the planner modules
+need without a type system.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+from typing import Dict, Iterable, Iterator, List, Tuple
+
+from ..framework import Checker, Finding, ModuleInfo, register
+
+__all__ = ["LockDisciplineChecker", "MUTATOR_METHODS"]
+
+#: Container-method names treated as mutations of their receiver.
+MUTATOR_METHODS = frozenset({
+    "append", "appendleft", "add", "clear", "discard", "extend", "insert",
+    "move_to_end", "pop", "popitem", "popleft", "remove", "reverse",
+    "setdefault", "sort", "update",
+})
+
+#: Functions whose ``self.<attr>`` stores are construction, not mutation.
+_CONSTRUCTORS = frozenset({"__init__", "__new__"})
+
+
+@dataclasses.dataclass(frozen=True)
+class GuardDecl:
+    """One ``# guarded-by:`` declaration: class, attribute, lock name."""
+
+    owner: str
+    attr: str
+    lock: str
+
+
+def _declarations(module: ModuleInfo) -> List[GuardDecl]:
+    declarations: List[GuardDecl] = []
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        for statement in node.body:
+            if not (isinstance(statement, ast.FunctionDef)
+                    and statement.name in _CONSTRUCTORS):
+                continue
+            for sub in ast.walk(statement):
+                if isinstance(sub, ast.Assign):
+                    targets = sub.targets
+                elif isinstance(sub, ast.AnnAssign):
+                    targets = [sub.target]
+                else:
+                    continue
+                lock = module.statement_marker(sub, "guarded-by")
+                if lock is None:
+                    continue
+                for target in targets:
+                    if (isinstance(target, ast.Attribute)
+                            and isinstance(target.value, ast.Name)
+                            and target.value.id == "self"):
+                        declarations.append(
+                            GuardDecl(node.name, target.attr, lock))
+    return declarations
+
+
+def _mutated_attributes(node: ast.AST) -> Iterator[Tuple[ast.Attribute, str]]:
+    """Attribute nodes this statement/expression mutates, with a verb."""
+
+    def from_target(target: ast.AST, verb: str) -> Iterator[
+            Tuple[ast.Attribute, str]]:
+        if isinstance(target, ast.Attribute):
+            yield target, verb
+        elif isinstance(target, ast.Subscript):
+            if isinstance(target.value, ast.Attribute):
+                yield target.value, f"{verb} (item)"
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                yield from from_target(element, verb)
+        elif isinstance(target, ast.Starred):
+            yield from from_target(target.value, verb)
+
+    if isinstance(node, ast.Assign):
+        for target in node.targets:
+            yield from from_target(target, "assignment")
+    elif isinstance(node, ast.AnnAssign) and node.value is not None:
+        yield from from_target(node.target, "assignment")
+    elif isinstance(node, ast.AugAssign):
+        yield from from_target(node.target, "augmented assignment")
+    elif isinstance(node, ast.Delete):
+        for target in node.targets:
+            yield from from_target(target, "deletion")
+    elif isinstance(node, ast.Call):
+        func = node.func
+        if (isinstance(func, ast.Attribute)
+                and func.attr in MUTATOR_METHODS
+                and isinstance(func.value, ast.Attribute)):
+            yield func.value, f".{func.attr}() call"
+
+
+@register
+class LockDisciplineChecker(Checker):
+    name = "guarded-by"
+    description = ("attributes declared `# guarded-by: <lock>` may only be "
+                   "mutated inside `with <base>.<lock>` (or in functions "
+                   "marked `# lock-held: <lock>`)")
+
+    def check(self, module: ModuleInfo) -> Iterable[Finding]:
+        by_attr: Dict[str, List[GuardDecl]] = {}
+        for declaration in _declarations(module):
+            by_attr.setdefault(declaration.attr, []).append(declaration)
+        if not by_attr:
+            return
+        for node in ast.walk(module.tree):
+            for attr_node, verb in _mutated_attributes(node):
+                declarations = by_attr.get(attr_node.attr)
+                if not declarations:
+                    continue
+                base = ast.unparse(attr_node.value)
+                chain = module.enclosing_functions(attr_node)
+                if base == "self" and any(
+                        getattr(function, "name", "") in _CONSTRUCTORS
+                        for function in chain):
+                    continue
+                if self._lock_satisfied(module, attr_node, base, chain,
+                                        declarations):
+                    continue
+                declaration = declarations[0]
+                yield Finding(
+                    self.name, module.path, attr_node.lineno,
+                    f"{verb} of `{base}.{attr_node.attr}` (declared "
+                    f"guarded-by `{declaration.lock}` on "
+                    f"{declaration.owner}) outside `with "
+                    f"{base}.{declaration.lock}`; hold the lock or mark "
+                    f"the enclosing function `# lock-held: "
+                    f"{declaration.lock}`")
+
+    @staticmethod
+    def _lock_satisfied(module: ModuleInfo, attr_node: ast.Attribute,
+                        base: str, chain: List[ast.AST],
+                        declarations: List[GuardDecl]) -> bool:
+        for declaration in declarations:
+            lock_expr = f"{base}.{declaration.lock}"
+            for ancestor in module.ancestors(attr_node):
+                if isinstance(ancestor, (ast.With, ast.AsyncWith)):
+                    for item in ancestor.items:
+                        if ast.unparse(item.context_expr) == lock_expr:
+                            return True
+            for function in chain:
+                if module.statement_marker(
+                        function, "lock-held") == declaration.lock:
+                    return True
+        return False

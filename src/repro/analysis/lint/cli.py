@@ -1,0 +1,78 @@
+"""``repro-lint`` command line front end.
+
+Usage::
+
+    repro-lint [PATHS...]            # lint (default: src)
+    repro-lint --format json src     # machine-readable findings
+    repro-lint --rules guarded-by,kernel-loop src/repro/exec
+    repro-lint --list-rules
+
+Exit status 0 when clean, 1 when any finding survives suppression, 2 on
+usage errors (unknown rule names).  ``--no-project-checks`` restricts the
+run to the pure-AST rules — used for fixture corpora that are not part of
+the importable package.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional, Sequence
+
+from .framework import all_checkers, lint_paths
+
+__all__ = ["main"]
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="repo-specific contract lint (lock discipline, kernel "
+                    "purity, estimator-bypass guard, knob threading, "
+                    "capability consistency)")
+    parser.add_argument("paths", nargs="*", default=["src"],
+                        help="files or directories to lint (default: src)")
+    parser.add_argument("--format", choices=("text", "json"), default="text",
+                        help="output format (default: text)")
+    parser.add_argument("--rules", default=None,
+                        help="comma-separated subset of rules to run")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="list the registered rules and exit")
+    parser.add_argument("--no-project-checks", action="store_true",
+                        help="skip rules that import the package "
+                             "(capability-consistency)")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for name, checker in all_checkers().items():
+            print(f"{name}: {checker.description}")
+        return 0
+
+    rules: Optional[List[str]] = None
+    if args.rules is not None:
+        rules = [part.strip() for part in args.rules.split(",")
+                 if part.strip()]
+    try:
+        findings = lint_paths(args.paths or ["src"], rules=rules,
+                              project_checks=not args.no_project_checks)
+    except KeyError as error:
+        print(f"repro-lint: {error.args[0]}", file=sys.stderr)
+        return 2
+
+    if args.format == "json":
+        json.dump([finding.to_dict() for finding in findings], sys.stdout,
+                  indent=2, sort_keys=True)
+        sys.stdout.write("\n")
+    else:
+        for finding in findings:
+            print(finding.render())
+        if findings:
+            print(f"repro-lint: {len(findings)} finding(s)")
+        else:
+            print("repro-lint: clean")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

@@ -1,0 +1,337 @@
+"""Core of ``repro-lint``: findings, checker registry, module model, runner.
+
+The repository accumulated correctness contracts that no generic linter
+knows — lock-guarded attributes in the concurrent planner, per-element-loop
+bans in the numpy kernels, the ``estimator_overrides_rows()`` fall-back that
+keeps custom estimators from being silently bypassed, the
+``backend=``/``workers=`` knob-threading rule.  This framework turns those
+contracts into AST checks over ``stdlib ast`` (no third-party parser), with:
+
+* a :class:`Finding` record (rule, path, line, message) with JSON rendering,
+* a :class:`Checker` registry (:func:`register`) — one class per rule,
+* :class:`ModuleInfo`, the per-file analysis context: parsed tree, raw
+  source lines (the AST cannot see comments, so marker annotations such as
+  ``# guarded-by: _lock`` are resolved against the line table), parent
+  links, and suppression state,
+* suppression comments: ``# repro-lint: disable=RULE[,RULE]`` on the
+  offending line, or ``# repro-lint: disable-file=RULE[,RULE]`` anywhere in
+  the file for a file-wide waiver,
+* :func:`lint_paths`, the runner the CLI and the tests share.
+
+Checkers that need a *live* import of the package (capability consistency
+cross-checks the optimizer registry against ``describe()``) subclass
+:class:`ProjectChecker` instead and run once per invocation rather than per
+file.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import io
+import os
+import re
+import tokenize
+from collections import OrderedDict
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Type
+
+__all__ = [
+    "Finding",
+    "Checker",
+    "ProjectChecker",
+    "ModuleInfo",
+    "register",
+    "all_checkers",
+    "checker_names",
+    "build_checkers",
+    "iter_python_files",
+    "lint_paths",
+]
+
+#: Rule id used for files that do not parse at all.
+PARSE_ERROR_RULE = "parse-error"
+
+_DISABLE_LINE_RE = re.compile(r"#\s*repro-lint:\s*disable=([A-Za-z0-9_\-, ]+)")
+_DISABLE_FILE_RE = re.compile(
+    r"#\s*repro-lint:\s*disable-file=([A-Za-z0-9_\-, ]+)")
+_MARKER_RES: Dict[str, "re.Pattern[str]"] = {}
+_FLAG_RES: Dict[str, "re.Pattern[str]"] = {}
+
+
+def _split_rules(text: str) -> Set[str]:
+    return {part.strip() for part in text.split(",") if part.strip()}
+
+
+def _marker_re(key: str) -> "re.Pattern[str]":
+    pattern = _MARKER_RES.get(key)
+    if pattern is None:
+        pattern = re.compile(rf"#\s*{re.escape(key)}:\s*([\w.\-]+)")
+        _MARKER_RES[key] = pattern
+    return pattern
+
+
+def _flag_re(flag: str) -> "re.Pattern[str]":
+    pattern = _FLAG_RES.get(flag)
+    if pattern is None:
+        pattern = re.compile(rf"#\s*repro-lint:\s*{re.escape(flag)}\b")
+        _FLAG_RES[flag] = pattern
+    return pattern
+
+
+@dataclasses.dataclass(frozen=True)
+class Finding:
+    """One rule violation, anchored to a source line."""
+
+    rule: str
+    path: str
+    line: int
+    message: str
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"rule": self.rule, "path": self.path, "line": self.line,
+                "message": self.message}
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+class Checker:
+    """Base class of every per-module rule.
+
+    Subclasses set ``name`` (the rule id used in output and suppression
+    comments) and ``description``, implement :meth:`check`, and register
+    themselves with :func:`register`.
+    """
+
+    name: str = ""
+    description: str = ""
+
+    def check(self, module: "ModuleInfo") -> Iterable[Finding]:
+        raise NotImplementedError
+
+
+class ProjectChecker(Checker):
+    """A rule that inspects the *imported* package, not one source file.
+
+    Runs once per lint invocation (after the per-module passes) and is
+    therefore not subject to per-line suppression comments.
+    """
+
+    def check(self, module: "ModuleInfo") -> Iterable[Finding]:
+        return ()
+
+    def check_project(self) -> Iterable[Finding]:
+        raise NotImplementedError
+
+
+_CHECKERS: "OrderedDict[str, Type[Checker]]" = OrderedDict()
+
+
+def register(cls: Type[Checker]) -> Type[Checker]:
+    """Class decorator adding a checker to the global registry."""
+    if not cls.name:
+        raise ValueError(f"checker {cls.__name__} has no rule name")
+    _CHECKERS[cls.name] = cls
+    return cls
+
+
+def _ensure_builtin_checkers() -> None:
+    # Importing the package registers every built-in rule; deferred so the
+    # framework itself has no import-order requirements.
+    from . import checkers  # noqa: F401
+
+
+def all_checkers() -> "OrderedDict[str, Type[Checker]]":
+    _ensure_builtin_checkers()
+    return OrderedDict(_CHECKERS)
+
+
+def checker_names() -> List[str]:
+    return list(all_checkers())
+
+
+def build_checkers(rules: Optional[Sequence[str]] = None) -> List[Checker]:
+    """Instantiate the registered checkers, optionally a named subset."""
+    registry = all_checkers()
+    if rules is not None:
+        unknown = sorted(set(rules) - set(registry))
+        if unknown:
+            raise KeyError(f"unknown rule(s): {', '.join(unknown)}; "
+                           f"known: {', '.join(registry)}")
+        return [registry[name]() for name in registry if name in set(rules)]
+    return [cls() for cls in registry.values()]
+
+
+class ModuleInfo:
+    """Everything a checker needs to know about one source file.
+
+    Couples the parsed tree with the raw line table (for trailing-comment
+    markers the AST cannot represent), parent links (``ast`` has no upward
+    pointers), and the file's suppression state.
+    """
+
+    def __init__(self, path: str, source: str):
+        self.path = path
+        self.source = source
+        self.lines: List[str] = source.splitlines()
+        self.tree = ast.parse(source, filename=path)
+        self._parents: Dict[int, ast.AST] = {}
+        for node in ast.walk(self.tree):
+            for child in ast.iter_child_nodes(node):
+                self._parents[id(child)] = node
+        # Markers and suppressions live in *comments*; scanning raw source
+        # lines would also match prose inside docstrings that merely quotes
+        # the syntax, so the line table used for marker lookup holds only
+        # real COMMENT tokens.
+        self.comments: Dict[int, str] = {}
+        try:
+            for token in tokenize.generate_tokens(
+                    io.StringIO(source).readline):
+                if token.type == tokenize.COMMENT:
+                    self.comments[token.start[0]] = token.string
+        except (tokenize.TokenError, IndentationError):
+            # A file ast.parse accepted should tokenize too; fall back to
+            # raw lines rather than losing every marker.
+            self.comments = dict(enumerate(self.lines, start=1))
+        self.file_disables: Set[str] = set()
+        self.line_disables: Dict[int, Set[str]] = {}
+        for number, text in sorted(self.comments.items()):
+            match = _DISABLE_FILE_RE.search(text)
+            if match is not None:
+                self.file_disables |= _split_rules(match.group(1))
+                continue
+            match = _DISABLE_LINE_RE.search(text)
+            if match is not None:
+                rules = self.line_disables.setdefault(number, set())
+                rules |= _split_rules(match.group(1))
+
+    # ------------------------------------------------------------------ #
+    # Line / marker access
+    # ------------------------------------------------------------------ #
+    def line(self, lineno: int) -> str:
+        """1-based source line, or ``""`` when out of range."""
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1]
+        return ""
+
+    def comment(self, lineno: int) -> str:
+        """The comment on a 1-based line, or ``""`` when there is none."""
+        return self.comments.get(lineno, "")
+
+    def _statement_lines(self, node: ast.AST) -> range:
+        """Line span where a trailing marker for ``node`` may live.
+
+        For compound statements (``def``, ``for``, ``with`` …) that is the
+        header — from the statement's first line up to the line before its
+        first body statement — so a marker on any header line counts even
+        when the signature wraps.  For simple statements it is the
+        statement's own span.
+        """
+        start = getattr(node, "lineno", 1)
+        body = getattr(node, "body", None)
+        if isinstance(body, list) and body and hasattr(body[0], "lineno"):
+            end = max(start, body[0].lineno - 1)
+        else:
+            end = getattr(node, "end_lineno", None) or start
+        return range(start, end + 1)
+
+    def statement_marker(self, node: ast.AST, key: str) -> Optional[str]:
+        """Value of a trailing ``# key: value`` marker on ``node``'s header."""
+        pattern = _marker_re(key)
+        for lineno in self._statement_lines(node):
+            match = pattern.search(self.comment(lineno))
+            if match is not None:
+                return match.group(1)
+        return None
+
+    def statement_flag(self, node: ast.AST, flag: str) -> bool:
+        """True when ``# repro-lint: <flag>`` appears on ``node``'s header."""
+        pattern = _flag_re(flag)
+        return any(pattern.search(self.comment(lineno))
+                   for lineno in self._statement_lines(node))
+
+    def flag_lines(self, flag: str) -> List[int]:
+        """All line numbers whose comment carries ``# repro-lint: <flag>``."""
+        pattern = _flag_re(flag)
+        return [number for number, text in sorted(self.comments.items())
+                if pattern.search(text)]
+
+    # ------------------------------------------------------------------ #
+    # Tree navigation
+    # ------------------------------------------------------------------ #
+    def parent(self, node: ast.AST) -> Optional[ast.AST]:
+        return self._parents.get(id(node))
+
+    def ancestors(self, node: ast.AST) -> Iterator[ast.AST]:
+        """Ancestors of ``node``, innermost first, module last."""
+        current = self.parent(node)
+        while current is not None:
+            yield current
+            current = self.parent(current)
+
+    def enclosing_functions(self, node: ast.AST) -> List[ast.AST]:
+        """Enclosing ``def``s of ``node``, innermost first."""
+        return [ancestor for ancestor in self.ancestors(node)
+                if isinstance(ancestor,
+                              (ast.FunctionDef, ast.AsyncFunctionDef))]
+
+    # ------------------------------------------------------------------ #
+    # Suppression
+    # ------------------------------------------------------------------ #
+    def is_suppressed(self, finding: Finding) -> bool:
+        for rules in (self.file_disables,
+                      self.line_disables.get(finding.line, ())):
+            if finding.rule in rules or "all" in rules:
+                return True
+        return False
+
+
+def iter_python_files(paths: Sequence[str]) -> Iterator[str]:
+    """Yield ``.py`` files under ``paths`` in deterministic order."""
+    for path in paths:
+        if os.path.isfile(path):
+            if path.endswith(".py"):
+                yield path
+            continue
+        for root, dirnames, filenames in os.walk(path):
+            dirnames[:] = sorted(name for name in dirnames
+                                 if name != "__pycache__")
+            for filename in sorted(filenames):
+                if filename.endswith(".py"):
+                    yield os.path.join(root, filename)
+
+
+def lint_paths(paths: Sequence[str],
+               rules: Optional[Sequence[str]] = None,
+               project_checks: bool = True) -> List[Finding]:
+    """Run the (selected) checkers over every Python file under ``paths``.
+
+    Returns the unsuppressed findings sorted by ``(path, line, rule)``.
+    ``project_checks=False`` skips :class:`ProjectChecker` rules — used when
+    linting fixture corpora that are not part of the importable package.
+    """
+    checkers = build_checkers(rules)
+    module_checkers = [checker for checker in checkers
+                       if not isinstance(checker, ProjectChecker)]
+    project_checkers = [checker for checker in checkers
+                        if isinstance(checker, ProjectChecker)]
+    findings: List[Finding] = []
+    for path in iter_python_files(paths):
+        with open(path, "r", encoding="utf-8") as handle:
+            source = handle.read()
+        try:
+            module = ModuleInfo(path, source)
+        except SyntaxError as error:
+            findings.append(Finding(PARSE_ERROR_RULE, path,
+                                    error.lineno or 1, str(error.msg)))
+            continue
+        for checker in module_checkers:
+            for finding in checker.check(module):
+                if not module.is_suppressed(finding):
+                    findings.append(finding)
+    if project_checks:
+        for checker in project_checkers:
+            findings.extend(checker.check_project())
+    findings.sort(key=lambda finding: (finding.path, finding.line,
+                                       finding.rule))
+    return findings

@@ -41,6 +41,8 @@ from __future__ import annotations
 
 from typing import List, Sequence
 
+from .contracts import kernel
+
 __all__ = [
     "WORD_BITS",
     "WORD_MASK",
@@ -312,6 +314,7 @@ def unpack_one(row, spec=None) -> int:
     return expand(value, spec)
 
 
+@kernel
 def sort_keys(column):
     """Comparison keys whose sort order equals the masks' numeric order.
 
@@ -333,6 +336,7 @@ def sort_keys(column):
     return big_endian.view(f"V{8 * words}").reshape(len(column))
 
 
+@kernel
 def gather_bits(column, positions):
     """Remap an identity-packed column onto a dense bit subset.
 
@@ -346,13 +350,14 @@ def gather_bits(column, positions):
     np = _numpy()
     out = np.zeros((len(column), words_for(len(positions))), dtype=np.uint64)
     for source_word, source_offset, dest_word, dest_offset, length \
-            in _remap_runs(positions):
+            in _remap_runs(positions):  # loop: runs — shift-and-mask spans
         run = ((column[:, source_word] >> np.uint64(source_offset))
                & np.uint64((1 << length) - 1))
         out[:, dest_word] |= run << np.uint64(dest_offset)
     return out
 
 
+@kernel
 def any_bits(stack):
     """Per-set "is non-empty" over the trailing word axis (bool array).
 
@@ -362,6 +367,7 @@ def any_bits(stack):
     return stack.any(axis=-1)
 
 
+@kernel
 def popcount_rows(column):
     """Per-set popcount summed across the trailing word axis (int64)."""
     np = _numpy()
@@ -374,6 +380,7 @@ def popcount_rows(column):
     return table[bytes_view].sum(axis=1)
 
 
+@kernel
 def bit_positions(column, k: int, n_bits: int):
     """``(m, k)`` matrix of each set's member positions, ascending per row.
 
@@ -391,6 +398,7 @@ def bit_positions(column, k: int, n_bits: int):
     return np.nonzero(membership)[1].reshape(len(column), k)
 
 
+@kernel
 def one_hot_words(positions, words: int):
     """Per-position singleton masks: ``positions (...,)`` → ``(..., words)``.
 

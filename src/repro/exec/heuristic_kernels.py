@@ -39,6 +39,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core import bitmapset as bms
+from ..core.contracts import kernel
 from ..core.counters import OptimizerStats
 from ..core.plan import Plan
 from ..core.query import QueryInfo
@@ -70,6 +71,7 @@ def heuristic_kernels_supported() -> bool:
 # --------------------------------------------------------------------------- #
 # LinearizedDP: batched interval merge
 # --------------------------------------------------------------------------- #
+@kernel
 def lindp_merge(query: QueryInfo, order: Sequence[int],
                 stats: OptimizerStats) -> Optional[Plan]:
     """DP over contiguous intervals of ``order``, one batch per length.
@@ -94,9 +96,9 @@ def lindp_merge(query: QueryInfo, order: Sequence[int],
     # Vertex masks of every interval [i, j] (arbitrary-width Python ints —
     # these never enter an int64 array).
     interval_mask: List[List[int]] = [[0] * n for _ in range(n)]
-    for i in range(n):
+    for i in range(n):  # loop: positions — bigint interval-mask setup
         mask = 0
-        for j in range(i, n):
+        for j in range(i, n):  # loop: positions — bigint interval-mask setup
             mask |= bms.bit(order[j])
             interval_mask[i][j] = mask
 
@@ -105,7 +107,7 @@ def lindp_merge(query: QueryInfo, order: Sequence[int],
     rows = np.zeros((n, n))
     has = np.zeros((n, n), dtype=bool)
     split_of = np.full((n, n), -1, dtype=np.int64)
-    for i, vertex in enumerate(order):
+    for i, vertex in enumerate(order):  # loop: positions — per-leaf DP seed
         leaf = query.leaf_plan(vertex)
         cost[i, i] = leaf.cost
         rows[i, i] = leaf.rows
@@ -118,8 +120,8 @@ def lindp_merge(query: QueryInfo, order: Sequence[int],
     scope = interval_mask[0][n - 1]
     position_of = {vertex: p for p, vertex in enumerate(order)}
     member = np.zeros((n, n), dtype=np.int64)
-    for p, vertex in enumerate(order):
-        for neighbour in bms.iter_bits(graph.adjacency(vertex) & scope):
+    for p, vertex in enumerate(order):  # loop: positions — adjacency membership setup
+        for neighbour in bms.iter_bits(graph.adjacency(vertex) & scope):  # loop: neighbours
             member[p, position_of[neighbour]] = 1
     prefix = np.zeros((n + 1, n + 1), dtype=np.int64)
     prefix[1:, 1:] = np.cumsum(np.cumsum(member, axis=0), axis=1)
@@ -137,10 +139,10 @@ def lindp_merge(query: QueryInfo, order: Sequence[int],
         estimator = query.root.cardinality
         position_of_root: Dict[int, int] = {}
         span = 0
-        for position, local_vertex in enumerate(order):
+        for position, local_vertex in enumerate(order):  # loop: positions — contracted-vertex span setup
             vertex_mask = query.vertex_masks[local_vertex]
             span |= vertex_mask
-            for root_vertex in bms.iter_bits(vertex_mask):
+            for root_vertex in bms.iter_bits(vertex_mask):  # loop: vertices
                 position_of_root[root_vertex] = position
     else:
         estimator = query.cardinality
@@ -148,11 +150,11 @@ def lindp_merge(query: QueryInfo, order: Sequence[int],
         position_of_root = {vertex: position
                             for position, vertex in enumerate(order)}
     fold_steps: List[Tuple[float, int, int]] = []
-    for root_vertex in bms.iter_bits(span):
+    for root_vertex in bms.iter_bits(span):  # loop: vertices — one fold step per scope member
         position = position_of_root[root_vertex]
         fold_steps.append((math.log10(estimator.base_cardinalities[root_vertex]),
                            position, position))
-    for edge in estimator.graph.edges_within(span):
+    for edge in estimator.graph.edges_within(span):  # loop: edges — one fold step per scope edge
         left_position = position_of_root[edge.left]
         right_position = position_of_root[edge.right]
         if left_position > right_position:
@@ -173,7 +175,7 @@ def lindp_merge(query: QueryInfo, order: Sequence[int],
                  for start in range(m)],
                 dtype=np.float64)
         acc = np.zeros(m, dtype=np.float64)
-        for value, near, far in fold_steps:
+        for value, near, far in fold_steps:  # loop: fold-steps  # repro-lint: estimator-fold
             low = far - length + 1
             if low < 0:
                 low = 0
@@ -186,7 +188,7 @@ def lindp_merge(query: QueryInfo, order: Sequence[int],
             dtype=np.float64)
 
     model = query.cost_model
-    for length in range(2, n + 1):
+    for length in range(2, n + 1):  # loop: lengths — one batch per interval length
         m = n - length + 1
         starts = np.arange(m)
         ends = starts + length - 1
@@ -231,7 +233,7 @@ def lindp_merge(query: QueryInfo, order: Sequence[int],
     # 1000-interval chains do not hit the recursion limit).
     plans: dict = {}
     stack: List[Tuple[int, int, bool]] = [(0, n - 1, False)]
-    while stack:
+    while stack:  # loop: plan-tree — winning-split materialisation walk
         i, j, expanded = stack.pop()
         if i == j:
             plans[(i, j)] = query.leaf_plan(order[i])
@@ -256,6 +258,7 @@ def lindp_merge(query: QueryInfo, order: Sequence[int],
 # --------------------------------------------------------------------------- #
 # UnionDP: batched greedy partition scan
 # --------------------------------------------------------------------------- #
+@kernel
 def greedy_union_partition(
         uf: UnionFind, k: int,
         weighted_edges: Sequence[Tuple[float, int, int]]) -> None:
@@ -282,10 +285,10 @@ def greedy_union_partition(
     left_root = np.fromiter((uf.find(int(v)) for v in left), np.int64, n_edges)
     right_root = np.fromiter((uf.find(int(v)) for v in right), np.int64, n_edges)
     size = np.ones(uf.n, dtype=np.int64)
-    for root in np.unique(np.concatenate([left_root, right_root])):
+    for root in np.unique(np.concatenate([left_root, right_root])):  # loop: roots — seed sizes of touched partitions
         size[root] = uf.set_size(int(root))
 
-    while True:
+    while True:  # loop: rounds — one union per round
         combined = size[left_root] + size[right_root]
         admissible = (left_root != right_root) & (combined <= k)
         if not admissible.any():
@@ -313,6 +316,7 @@ def greedy_union_partition(
 # --------------------------------------------------------------------------- #
 # GOO / IDP1: batched candidate-pair estimation
 # --------------------------------------------------------------------------- #
+@kernel
 def pair_rows(query: QueryInfo, pairs: Sequence[Tuple[int, int]]):
     """Output-cardinality estimates for a batch of vertex pairs (float64).
 

@@ -67,6 +67,7 @@ import sys
 import threading
 import traceback
 import uuid
+import warnings
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import multiprocessing
@@ -194,12 +195,23 @@ def _disable_worker_resource_tracking() -> None:
     Workers never create segments, so registration is disabled wholesale in
     the worker process.
     """
-    try:  # pragma: no cover - tracker internals differ across versions
+    try:
         from multiprocessing import resource_tracker
 
         resource_tracker.register = lambda name, rtype: None
-    except Exception:
+    except ImportError:  # pragma: no cover - tracker module absent
+        # No resource tracker on this platform/version: nothing registers
+        # worker-side attachments in the first place, so there is nothing
+        # to disable.
         pass
+    except Exception:  # pragma: no cover - tracker internals changed
+        # An unexpected tracker shape is survivable (workers merely
+        # double-account segments), but it must not be invisible: newer
+        # CPythons changing the internals is exactly what this warning
+        # would surface.
+        warnings.warn("could not disable worker-side resource tracking; "
+                      "shared-memory segments may be double-accounted",
+                      RuntimeWarning)
 
 
 def _attach_segment(name: str) -> shared_memory.SharedMemory:
@@ -298,8 +310,8 @@ class _WorkerPool:
         self._broken = False
         #: Observability counters (read via ``WorkerPoolRegistry.info``);
         #: updated under ``_lock`` inside :meth:`run_tasks`.
-        self.levels_dispatched = 0
-        self.tasks_dispatched = 0
+        self.levels_dispatched = 0  # guarded-by: _lock
+        self.tasks_dispatched = 0  # guarded-by: _lock
         #: Pools are shared per worker count across runs — and a shared
         #: AdaptivePlanner may serve concurrent threads — so one level's
         #: send/recv exchange must be atomic per pool, or two threads would
@@ -393,10 +405,10 @@ class WorkerPoolRegistry:
     """
 
     def __init__(self) -> None:
-        self._pools: Dict[int, _WorkerPool] = {}
+        self._pools: Dict[int, _WorkerPool] = {}  # guarded-by: _lock
         self._lock = threading.Lock()
-        self.pools_created = 0
-        self.pools_rebuilt = 0
+        self.pools_created = 0  # guarded-by: _lock
+        self.pools_rebuilt = 0  # guarded-by: _lock
 
     def lease(self, n_workers: int) -> _WorkerPool:
         """The shared pool for ``n_workers`` (created/rebuilt on demand)."""

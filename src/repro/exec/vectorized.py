@@ -76,6 +76,7 @@ import numpy as np
 
 from ..core import bitmapset as bms
 from ..core import widebitmap as wb
+from ..core.contracts import kernel
 from ..core.arena import PlanArena
 from ..core.query import QueryInfo
 from .backend import KernelBackend, KernelState, ScalarBackend
@@ -109,6 +110,7 @@ _DENSE_CACHE: Dict[int, np.ndarray] = {}
 _SEQ_MAX = np.iinfo(np.int64).max
 
 
+@kernel
 def _dense_matrix(k: int) -> np.ndarray:
     """(2^k - 2, k) matrix: row ``d-1`` holds the bits of dense value ``d``.
 
@@ -127,6 +129,7 @@ def _dense_matrix(k: int) -> np.ndarray:
     return cached
 
 
+@kernel
 def _deposit(dense: np.ndarray, weights: np.ndarray) -> np.ndarray:
     """Batched PDEP: scatter dense split values through per-target weights.
 
@@ -138,7 +141,7 @@ def _deposit(dense: np.ndarray, weights: np.ndarray) -> np.ndarray:
     """
     words = weights.shape[2]
     out = np.empty((dense.shape[0], weights.shape[0], words), dtype=np.uint64)
-    for word in range(words):
+    for word in range(words):  # loop: words — one matmul per bitset word lane
         out[:, :, word] = dense @ weights[:, :, word].T
     return out
 
@@ -508,6 +511,7 @@ def snapshot_for(state: KernelState, arena: PlanArena) -> Snapshot:
     return builder_for(state).refresh(arena)
 
 
+@kernel
 def _scatter_winners(n_targets: int, tid: np.ndarray, cost: np.ndarray,
                      seq: np.ndarray, left: np.ndarray, right: np.ndarray):
     """First-cheapest-wins reduction per target id.
@@ -664,6 +668,7 @@ def tree_info_for(state: KernelState) -> TreeInfo:
 # Shard kernels: one contiguous slice of a level's targets, in or out of
 # process.  Pure functions of (snapshot, model, plain arrays).
 # --------------------------------------------------------------------------- #
+@kernel
 def run_subset_shard(snapshot: Snapshot, model, level: int, n_bits: int,
                      targets: np.ndarray, out_rows: np.ndarray):
     """DPsub unrank/filter/evaluate/scatter for one shard of targets.
@@ -678,7 +683,7 @@ def run_subset_shard(snapshot: Snapshot, model, level: int, n_bits: int,
     total_ccp = 0
     parts: List[Tuple[np.ndarray, np.ndarray, np.ndarray]] = []
     chunk = max(1, _CHUNK_ELEMENTS // (n_splits * words))
-    for start in range(0, len(targets), chunk):
+    for start in range(0, len(targets), chunk):  # loop: chunks — bounded-memory dispatch slices
         tc = targets[start:start + chunk]
         oc = out_rows[start:start + chunk]
         weights = wb.one_hot_words(
@@ -770,6 +775,7 @@ def _fallback_block_entries(snapshot: Snapshot, model,
     return ccp
 
 
+@kernel
 def run_block_shard(snapshot: Snapshot, model, adjacency: Sequence[int],
                     n_bits: int, targets: np.ndarray, out_rows: np.ndarray):
     """MPDP block splits + grow-lift for one shard of targets.
@@ -798,11 +804,11 @@ def run_block_shard(snapshot: Snapshot, model, adjacency: Sequence[int],
     # scalar BFS grow per valid pair.
     groups: Dict[int, List[Tuple[int, int, int, Optional[List[int]]]]] = {}
     total_pairs = 0
-    for tid in range(n_targets):
+    for tid in range(n_targets):  # loop: targets — scalar block decomposition per target (bigint graph walk)
         target = targets_py[tid]
         seq_base = 0
         blocks, hangs = _blocks_and_hangs(adjacency, target)
-        for block, hang_weights in zip(blocks, hangs):
+        for block, hang_weights in zip(blocks, hangs):  # loop: blocks — per-target biconnected blocks
             size = block.bit_count()
             groups.setdefault(size, []).append(
                 (tid, block, seq_base, hang_weights))
@@ -816,7 +822,7 @@ def run_block_shard(snapshot: Snapshot, model, adjacency: Sequence[int],
     winners = _RunningWinners(n_targets, words)
     total_ccp = 0
 
-    for size in sorted(groups):
+    for size in sorted(groups):  # loop: block-sizes — one dense batch per size group
         entries = groups[size]
         if size > _MAX_DENSE_BITS:
             total_ccp += _fallback_block_entries(
@@ -841,7 +847,7 @@ def run_block_shard(snapshot: Snapshot, model, adjacency: Sequence[int],
             hang_all[hang_rows] = wb.pack(flat_weights, words).reshape(
                 len(hang_rows), size, words)
         chunk = max(1, _CHUNK_ELEMENTS // (n_splits * words))
-        for start in range(0, len(entries), chunk):
+        for start in range(0, len(entries), chunk):  # loop: chunks — bounded-memory dispatch slices
             tidc = tid_all[start:start + chunk]
             blkc = blk_all[start:start + chunk]
             seqc = seq_all[start:start + chunk]
@@ -887,6 +893,7 @@ def run_block_shard(snapshot: Snapshot, model, adjacency: Sequence[int],
     return best, winner_left, winner_right, total_ccp, total_pairs
 
 
+@kernel
 def run_tree_shard(snapshot: Snapshot, model, info: TreeInfo,
                    targets: np.ndarray, out_rows: np.ndarray):
     """MPDP:Tree per-edge splits for one shard of targets.
@@ -900,7 +907,7 @@ def run_tree_shard(snapshot: Snapshot, model, info: TreeInfo,
     total_pairs = 0
     parts: List[Tuple[np.ndarray, np.ndarray, np.ndarray]] = []
     chunk = max(1, _CHUNK_ELEMENTS // (2 * n_edges * words))
-    for start in range(0, len(targets), chunk):
+    for start in range(0, len(targets), chunk):  # loop: chunks — bounded-memory dispatch slices
         tc = targets[start:start + chunk]
         oc = out_rows[start:start + chunk]
         within = ((tc[:, None, :] & info.edge_masks[None, :, :])

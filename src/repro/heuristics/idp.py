@@ -200,7 +200,8 @@ class IDP2(HeuristicBackendMixin, JoinOrderOptimizer):
         #: The shared inner exact optimizer (one instance for every fragment
         #: of every iteration — never re-created per ``exact_factory()``).
         self.exact_optimizer = resolve_exact(exact_factory, backend, workers)
-        self.initial_heuristic = initial_heuristic or GOO(backend=backend)
+        self.initial_heuristic = initial_heuristic or GOO(backend=backend,
+                                                          workers=workers)
         self.max_iterations = max_iterations
         self.name = f"IDP2-{self.exact_optimizer.name} ({k})"
 

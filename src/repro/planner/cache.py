@@ -71,22 +71,25 @@ class _Stripe:
 
     def __init__(self, capacity: int):
         self.lock = threading.Lock()
-        self.entries: "OrderedDict[str, object]" = OrderedDict()
+        self.entries: "OrderedDict[str, object]" = OrderedDict()  # guarded-by: lock
         #: Immutable published mapping for the lock-free read path.  Never
         #: mutated in place: writers build a fresh dict and swap the
-        #: reference (atomic under the GIL).
-        self.snapshot: Dict[str, object] = {}
+        #: reference (atomic under the GIL); the swap itself happens under
+        #: the stripe lock.
+        self.snapshot: Dict[str, object] = {}  # guarded-by: lock
         #: Pending-hit journal: keys appended lock-free by readers, drained
         #: under ``lock`` before any count/evict/stat operation.
+        #: Deliberately NOT guarded-by the lock — ``list.append`` is atomic
+        #: in CPython and the lock-free hit path is the point of the design.
         self.journal: List[str] = []
         self.capacity = capacity
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
-        self.invalidations = 0
+        self.hits = 0  # guarded-by: lock
+        self.misses = 0  # guarded-by: lock
+        self.evictions = 0  # guarded-by: lock
+        self.invalidations = 0  # guarded-by: lock
 
     # -- all methods below assume ``self.lock`` is HELD ------------------- #
-    def drain(self) -> None:
+    def drain(self) -> None:  # lock-held: lock
         """Apply journaled hits: counters once, LRU recency in hit order."""
         n = len(self.journal)
         if not n:
@@ -99,15 +102,15 @@ class _Stripe:
             if key in entries:
                 entries.move_to_end(key)
 
-    def publish(self) -> None:
+    def publish(self) -> None:  # lock-held: lock
         self.snapshot = dict(self.entries)
 
-    def evict_over_capacity(self) -> None:
+    def evict_over_capacity(self) -> None:  # lock-held: lock
         while len(self.entries) > self.capacity:
             self.entries.popitem(last=False)
             self.evictions += 1
 
-    def stats(self) -> Tuple[int, int, int, int, int]:
+    def stats(self) -> Tuple[int, int, int, int, int]:  # lock-held: lock
         """(entries, hits, misses, evictions, invalidations), post-drain."""
         self.drain()
         return (len(self.entries), self.hits, self.misses,

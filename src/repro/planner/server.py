@@ -144,8 +144,8 @@ class PlannerService:
         self._queue: "queue.Queue[Optional[_Request]]" = queue.Queue(
             maxsize=queue_limit)
         self._stats_lock = threading.Lock()
-        self._counts: Dict[str, int] = {status: 0 for status in _STATUSES}
-        self._submitted = 0
+        self._counts: Dict[str, int] = {status: 0 for status in _STATUSES}  # guarded-by: _stats_lock
+        self._submitted = 0  # guarded-by: _stats_lock
         self._restored_entries = 0
         self._closed = False
         self._started_at = self._clock()

@@ -269,14 +269,14 @@ class AdaptivePlanner:
         self._policy_tag = (f"x{exact_threshold}t{tree_threshold}"
                             f"i{idp_threshold}l{lindp_threshold}k{idp_k}")
         #: rung -> smallest query size at which it blew the budget.
-        self._budget_exceeded: Dict[str, int] = {}
+        self._budget_exceeded: Dict[str, int] = {}  # guarded-by: _lock
         self._lock = threading.Lock()
         #: cache key -> lock held by the thread currently planning that key
         #: (singleflight).  Entries are created/removed under ``_lock``.
-        self._inflight: Dict[str, threading.Lock] = {}
+        self._inflight: Dict[str, threading.Lock] = {}  # guarded-by: _lock
         #: Requests that waited behind another thread planning the same key
         #: and were then served from the cache (service observability).
-        self.coalesced_plans = 0
+        self.coalesced_plans = 0  # guarded-by: _lock
 
     def _cache_key(self, signature: str) -> str:
         return f"{signature}|{self._policy_tag}"
